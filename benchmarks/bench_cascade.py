@@ -1,0 +1,102 @@
+"""Experiment Q3 — cascading rule firings build nested transaction trees
+(paper §3.2).
+
+Measures the cost of a cascade as its depth grows and verifies the tree
+shape the execution model prescribes (each firing adds a condition and an
+action subtransaction under the transaction whose operation triggered
+it)."""
+
+import pytest
+
+from repro import (
+    Action,
+    AttrType,
+    AttributeDef,
+    ClassDef,
+    Condition,
+    HiPAC,
+    Rule,
+    on_create,
+)
+
+
+def build(depth):
+    """Classes C0..Cdepth with rules Ci -> create Ci+1."""
+    db = HiPAC(lock_timeout=30.0)
+    for i in range(depth + 1):
+        db.define_class(ClassDef("C%d" % i, (
+            AttributeDef("v", AttrType.INT, default=0),)))
+    for i in range(depth):
+        db.create_rule(Rule(
+            name="chain-%d" % i,
+            event=on_create("C%d" % i),
+            condition=Condition.true(),
+            action=Action.call(
+                lambda ctx, nxt="C%d" % (i + 1): ctx.create(nxt, {"v": 0})),
+        ))
+    return db
+
+
+def trigger(db):
+    with db.transaction() as txn:
+        db.create("C0", {"v": 0}, txn)
+        return txn
+
+
+@pytest.mark.parametrize("depth", [1, 4, 16])
+def test_cascade_cost_vs_depth(depth, benchmark):
+    db = build(depth)
+    top = benchmark(trigger, db)
+    # Tree shape: each of the `depth` firings contributes one condition and
+    # one action subtransaction; they nest under the action that triggered
+    # them, so the tree height is 2*depth + 1 levels and the size is
+    # 2*depth + 1 transactions.
+    assert top.tree_size() == 2 * depth + 1
+    assert top.tree_depth() == depth + 1
+
+
+def test_cascade_abort_cost(benchmark):
+    """Aborting the trigger must unwind the entire cascade's effects."""
+    db = build(8)
+
+    def run_and_abort():
+        txn = db.begin()
+        db.create("C0", {"v": 0}, txn)
+        db.abort(txn)
+
+    benchmark(run_and_abort)
+    from repro import Query
+    with db.transaction() as r:
+        for i in range(9):
+            assert len(db.query(Query("C%d" % i), r)) == 0
+
+
+def test_fanout_cascade(benchmark):
+    """One event triggering 8 rules, each creating an object that triggers
+    one more rule — breadth instead of depth."""
+    db = HiPAC(lock_timeout=30.0)
+    db.define_class(ClassDef("Root", (AttributeDef("v", AttrType.INT),)))
+    db.define_class(ClassDef("Mid", (AttributeDef("v", AttrType.INT),)))
+    db.define_class(ClassDef("Leaf", (AttributeDef("v", AttrType.INT),)))
+    for i in range(8):
+        db.create_rule(Rule(
+            name="fan-%d" % i,
+            event=on_create("Root"),
+            condition=Condition.true(),
+            action=Action.call(lambda ctx: ctx.create("Mid", {"v": 0})),
+        ))
+    db.create_rule(Rule(
+        name="mid-leaf",
+        event=on_create("Mid"),
+        condition=Condition.true(),
+        action=Action.call(lambda ctx: ctx.create("Leaf", {"v": 0})),
+    ))
+
+    def run():
+        with db.transaction() as txn:
+            db.create("Root", {"v": 0}, txn)
+            return txn
+
+    top = benchmark(run)
+    # 1 top + 8*(cond+act) + under each act: 1*(cond+act) = 1 + 16 + 16.
+    assert top.tree_size() == 33

@@ -1,0 +1,83 @@
+"""Experiment W6.3 — §6.3 transaction commit processing.
+
+Validates that deferred rule firings run during commit (before it
+completes) and measures commit latency as the deferred set grows — the
+cost the deferred coupling moves from operations to commit."""
+
+import pytest
+
+from benchmarks.conftest import make_db, seed_stocks
+from repro import Action, Condition, Rule, on_update
+
+
+def build(ec="deferred"):
+    db = make_db()
+    oids = seed_stocks(db, 10)
+    db.create_rule(Rule(
+        name="probe",
+        event=on_update("Stock", attrs=["price"]),
+        condition=Condition.true(),
+        action=Action.call(lambda ctx: None),
+        ec_coupling=ec,
+    ))
+    return db, oids
+
+
+PRICE = [0.0]
+
+
+@pytest.mark.parametrize("deferred_firings", [1, 10, 100])
+def test_commit_latency_vs_deferred_set(deferred_firings, benchmark):
+    db, oids = build()
+
+    def setup():
+        txn = db.begin()
+        for _ in range(deferred_firings):
+            PRICE[0] += 1.0
+            db.update(oids[0], {"price": PRICE[0]}, txn)
+        assert len(txn.deferred_conditions) == deferred_firings
+        return (txn,), {}
+
+    benchmark.pedantic(db.commit, setup=setup, rounds=20)
+
+
+def test_commit_without_deferred_work(benchmark):
+    db, oids = build(ec="immediate")
+
+    def setup():
+        txn = db.begin()
+        PRICE[0] += 1.0
+        db.update(oids[0], {"price": PRICE[0]}, txn)
+        return (txn,), {}
+
+    benchmark.pedantic(db.commit, setup=setup, rounds=20)
+
+
+def test_deferred_set_split_conditions_vs_actions(benchmark):
+    """§6.3: the set is divided into deferred-condition and deferred-action
+    firings; both kinds are drained before commit returns."""
+    db = make_db()
+    oids = seed_stocks(db, 5)
+    ran = {"cond": 0, "act": 0}
+    db.create_rule(Rule(
+        name="def-cond", event=on_update("Stock", attrs=["price"]),
+        condition=Condition.true(),
+        action=Action.call(lambda ctx: ran.__setitem__(
+            "cond", ran["cond"] + 1)),
+        ec_coupling="deferred", ca_coupling="immediate"))
+    db.create_rule(Rule(
+        name="def-act", event=on_update("Stock", attrs=["price"]),
+        condition=Condition.true(),
+        action=Action.call(lambda ctx: ran.__setitem__(
+            "act", ran["act"] + 1)),
+        ec_coupling="immediate", ca_coupling="deferred"))
+
+    def cycle():
+        PRICE[0] += 1.0
+        with db.transaction() as txn:
+            db.update(oids[0], {"price": PRICE[0]}, txn)
+            assert len(txn.deferred_conditions) == 1
+            assert len(txn.deferred_actions) == 1
+
+    benchmark(cycle)
+    assert ran["cond"] > 0 and ran["act"] > 0

@@ -1,0 +1,91 @@
+"""Experiment Q1 — the cost structure of the nine coupling combinations
+(paper §2.1/§3.2).
+
+Fixed rule and workload; only the (E-C, C-A) pair varies.  The shape to
+hold: immediate couplings pay inside the operation, deferred couplings pay
+at commit, separate couplings pay on another thread (cheapest on the
+application's critical path)."""
+
+import pytest
+
+from benchmarks.conftest import make_db, seed_stocks
+from repro import Action, Condition, Rule, on_update
+from repro.rules.coupling import all_combinations
+
+PRICE = [0.0]
+
+
+def build(ec, ca):
+    db = make_db()
+    oids = seed_stocks(db, 10)
+    db.create_rule(Rule(
+        name="probe",
+        event=on_update("Stock", attrs=["price"]),
+        condition=Condition.true(),
+        action=Action.call(lambda ctx: None),
+        ec_coupling=ec,
+        ca_coupling=ca,
+    ))
+    return db, oids
+
+
+@pytest.mark.parametrize("ec,ca", all_combinations(),
+                         ids=["%s-%s" % pair for pair in all_combinations()])
+def test_coupling_combination_cost(ec, ca, benchmark):
+    db, oids = build(ec, ca)
+
+    def cycle():
+        PRICE[0] += 1.0
+        with db.transaction() as txn:
+            db.update(oids[0], {"price": PRICE[0]}, txn)
+
+    benchmark(cycle)
+    db.drain()
+    assert db.rule_manager.background_errors == []
+
+
+def test_separate_keeps_critical_path_short(benchmark):
+    """The separate coupling's purpose: the triggering transaction does not
+    wait for condition evaluation or the action.  With a firing that does
+    real work (~2 ms), inline (immediate) coupling pays it on the critical
+    path; separate coupling pays only the thread hand-off."""
+    import time
+
+    def build_slow(ec):
+        db = make_db()
+        oids = seed_stocks(db, 10)
+        db.create_rule(Rule(
+            name="slow-probe",
+            event=on_update("Stock", attrs=["price"]),
+            condition=Condition(
+                guard=lambda b, r: (time.sleep(0.002), True)[1]),
+            action=Action.call(lambda ctx: None),
+            ec_coupling=ec,
+            ca_coupling="immediate",
+        ))
+        return db, oids
+
+    def critical_path(ec, rounds=40):
+        db, oids = build_slow(ec)
+        start = time.perf_counter()
+        for i in range(rounds):
+            with db.transaction() as txn:
+                db.update(oids[0], {"price": float(i)}, txn)
+        elapsed = time.perf_counter() - start
+        db.drain()
+        return elapsed
+
+    immediate = critical_path("immediate")
+    separate = critical_path("separate")
+    assert separate < immediate, \
+        "separate %.4fs vs immediate %.4fs" % (separate, immediate)
+
+    db, oids = build_slow("separate")
+
+    def cycle():
+        PRICE[0] += 1.0
+        with db.transaction() as txn:
+            db.update(oids[0], {"price": PRICE[0]}, txn)
+
+    benchmark(cycle)
+    db.drain()

@@ -1,0 +1,80 @@
+"""Experiment F5.1 — Figure 5.1: the functional components and their
+interactions.
+
+Runs a full rule firing with the component tracer on, asserts every
+recorded inter-component call lies on an edge Figure 5.1 draws, and
+measures the tracing overhead (the cost of observing the architecture).
+"""
+
+import pytest
+
+from benchmarks.conftest import make_db, seed_stocks
+from repro import Action, Attr, Condition, Query, Rule, on_update
+from repro.core.tracing import figure_5_1_edges
+
+
+def build():
+    db = make_db()
+    oids = seed_stocks(db, 20)
+    db.create_rule(Rule(
+        name="watch",
+        event=on_update("Stock", attrs=["price"]),
+        condition=Condition.of(Query("Stock", Attr("price") > 100.0)),
+        action=Action.call(lambda ctx: None),
+    ))
+    return db, oids
+
+
+def fire_once(db, oids, price_box=[100.0]):
+    price_box[0] += 1.0
+    with db.transaction() as txn:
+        db.update(oids[0], {"price": price_box[0]}, txn)
+
+
+def test_all_calls_on_figure_edges(benchmark):
+    db, oids = build()
+
+    def traced_firing():
+        db.tracer.start()
+        fire_once(db, oids)
+        return db.tracer.stop()
+
+    trace = benchmark(traced_firing)
+    extra = trace.edge_set() - figure_5_1_edges()
+    assert not extra, "calls outside Figure 5.1: %s" % sorted(extra)
+    assert len(trace.records) >= 6  # a real workout, not an empty trace
+
+
+def test_firing_with_tracer_off(benchmark):
+    db, oids = build()
+    benchmark(fire_once, db, oids)
+
+
+def test_firing_with_tracer_on(benchmark):
+    db, oids = build()
+    db.tracer.start()
+    benchmark(fire_once, db, oids)
+    db.tracer.stop()
+
+
+def test_component_call_counts_per_firing(benchmark):
+    """One immediate firing costs: 2 transactions created by the Rule
+    Manager (condition + action), 1 condition evaluation, 1 rule-object
+    read."""
+    db, oids = build()
+
+    def traced():
+        db.tracer.start()
+        fire_once(db, oids)
+        return db.tracer.stop()
+
+    trace = benchmark(traced)
+    from repro.core.tracing import (
+        CONDITION_EVALUATOR,
+        RULE_MANAGER,
+        TRANSACTION_MANAGER,
+    )
+    assert trace.count(source=RULE_MANAGER, target=TRANSACTION_MANAGER,
+                       operation="create_transaction") == 2
+    assert trace.count(source=RULE_MANAGER, target=CONDITION_EVALUATOR,
+                       operation="evaluate_condition") == 1

@@ -1,0 +1,78 @@
+"""Join-query micro-benchmarks (DML extension): hash-join cost and join
+conditions in rules."""
+
+import pytest
+
+from repro import (
+    Action,
+    Attr,
+    AttrType,
+    AttributeDef,
+    ClassDef,
+    Condition,
+    HiPAC,
+    JoinQuery,
+    Query,
+    Rule,
+    on_update,
+)
+
+
+def build(warehouses=10, items=500):
+    db = HiPAC(lock_timeout=30.0)
+    db.define_class(ClassDef("Warehouse", (
+        AttributeDef("city", AttrType.STRING, required=True, indexed=True),
+    )))
+    db.define_class(ClassDef("Item", (
+        AttributeDef("sku", AttrType.STRING, required=True),
+        AttributeDef("warehouse", AttrType.OID),
+        AttributeDef("qty", AttrType.INT, default=0),
+    )))
+    whs = []
+    with db.transaction() as txn:
+        for i in range(warehouses):
+            whs.append(db.create("Warehouse", {"city": "city%d" % i}, txn))
+        item_oids = []
+        for i in range(items):
+            item_oids.append(db.create("Item", {
+                "sku": "sku%04d" % i,
+                "warehouse": whs[i % warehouses],
+                "qty": i % 20,
+            }, txn))
+    return db, whs, item_oids
+
+
+@pytest.mark.parametrize("items", [100, 1000])
+def test_hash_join_cost(items, benchmark):
+    db, whs, item_oids = build(items=items)
+    join = JoinQuery(Query("Item", Attr("qty") > 5),
+                     Query("Warehouse", Attr("city") == "city3"),
+                     "warehouse")
+
+    def run():
+        with db.transaction() as txn:
+            return db.object_manager.execute_join(join, txn)
+
+    result = benchmark(run)
+    assert len(result) > 0
+
+
+def test_join_condition_rule_firing(benchmark):
+    db, whs, item_oids = build()
+    db.create_rule(Rule(
+        name="low-in-city3",
+        event=on_update("Item", attrs=["qty"]),
+        condition=Condition.of(JoinQuery(
+            Query("Item", Attr("qty") < 1),
+            Query("Warehouse", Attr("city") == "city3"),
+            "warehouse")),
+        action=Action.call(lambda ctx: None),
+    ))
+    counter = [0]
+
+    def update():
+        counter[0] += 1
+        with db.transaction() as txn:
+            db.update(item_oids[3], {"qty": counter[0] % 3}, txn)
+
+    benchmark(update)

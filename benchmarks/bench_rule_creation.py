@@ -1,0 +1,94 @@
+"""Experiment W6.1 — §6.1 rule creation.
+
+Validates the creation protocol trace (Object Manager -> Rule Manager ->
+Condition Evaluator -> Event Detectors) and measures rule-creation latency
+as the rule base grows (the Rule Manager's mapping and the condition graph
+must not make creation degrade badly)."""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import make_db
+from repro import Action, Attr, Condition, Query, Rule, on_update
+from repro.core.tracing import (
+    APPLICATION,
+    CONDITION_EVALUATOR,
+    EVENT_DETECTOR,
+    OBJECT_MANAGER,
+    RULE_MANAGER,
+)
+
+_counter = itertools.count()
+
+
+def fresh_rule():
+    n = next(_counter)
+    return Rule(
+        name="rule-%06d" % n,
+        event=on_update("Stock", attrs=["price"]),
+        condition=Condition.of(Query("Stock", Attr("price") > float(n % 97))),
+        action=Action.call(lambda ctx: None),
+    )
+
+
+def test_creation_protocol_trace(benchmark):
+    db = make_db()
+
+    def create_traced():
+        db.tracer.start()
+        db.create_rule(fresh_rule())
+        return db.tracer.stop()
+
+    trace = benchmark(create_traced)
+    assert trace.subsequence([
+        (APPLICATION, OBJECT_MANAGER, "execute_operation"),
+        (OBJECT_MANAGER, RULE_MANAGER, "signal_event"),
+        (RULE_MANAGER, CONDITION_EVALUATOR, "add_rule"),
+        (RULE_MANAGER, EVENT_DETECTOR, "define_event"),
+    ])
+
+
+@pytest.mark.parametrize("existing", [0, 100, 500])
+def test_rule_creation_latency_vs_rule_base(existing, benchmark):
+    db = make_db()
+    for _ in range(existing):
+        db.create_rule(fresh_rule())
+
+    benchmark(lambda: db.create_rule(fresh_rule()))
+
+
+def test_rule_creation_with_shared_condition(benchmark):
+    """Creating a rule whose condition is already in the graph skips memory
+    materialization (sharing)."""
+    db = make_db()
+    shared = Query("Stock", Attr("price") > 50.0)
+    db.create_rule(Rule(name="first", event=on_update("Stock"),
+                        condition=Condition.of(shared),
+                        action=Action.call(lambda ctx: None)))
+
+    def create_sharing():
+        n = next(_counter)
+        db.create_rule(Rule(
+            name="shared-%06d" % n,
+            event=on_update("Stock"),
+            condition=Condition.of(shared),
+            action=Action.call(lambda ctx: None)))
+
+    benchmark(create_sharing)
+    assert db.condition_evaluator.graph.node_count() == 1
+
+
+def test_rule_deletion(benchmark):
+    db = make_db()
+    names = []
+
+    def setup():
+        rule = fresh_rule()
+        db.create_rule(rule)
+        return (rule.name,), {}
+
+    def delete(name):
+        db.delete_rule(name)
+
+    benchmark.pedantic(delete, setup=setup, rounds=50)

@@ -1,0 +1,56 @@
+"""Experiment A2 — time-constrained transaction scheduling (the paper's
+cited future-work direction [BUC88]).
+
+Sweeps offered load and compares deadline-miss rates under FIFO, EDF, and
+LSF on identical transaction job sets.  Shape to hold (from the real-time
+DB literature the paper builds toward): deadline-aware policies miss far
+fewer deadlines than FIFO as load approaches saturation."""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.scheduler import EDF, FIFO, LSF, compare_policies, simulate
+from repro.workloads import make_jobs
+
+
+@pytest.mark.parametrize("policy", [FIFO, EDF, LSF])
+def test_scheduling_cost(policy, benchmark):
+    jobs = make_jobs(500, seed=29, load=0.9)
+    result = benchmark(simulate, jobs, policy)
+    assert len(result.completions) == 500
+
+
+@pytest.mark.parametrize("load", [0.5, 0.8, 0.95, 1.1])
+def test_miss_rate_sweep(load, benchmark):
+    jobs = make_jobs(600, seed=31, load=load)
+    results = benchmark.pedantic(compare_policies, args=(jobs,),
+                                 rounds=3, iterations=1)
+    # EDF never loses to FIFO on miss rate across the sweep.
+    assert results[EDF].miss_rate <= results[FIFO].miss_rate + 1e-9
+
+
+def test_shape_edf_beats_fifo_under_load(benchmark):
+    rows = []
+    for load in (0.5, 0.8, 0.95, 1.1):
+        jobs = make_jobs(600, seed=31, load=load)
+        results = compare_policies(jobs)
+        rows.append(["%.2f" % load] +
+                    ["%.3f" % results[p].miss_rate for p in (FIFO, EDF, LSF)])
+    print_table("A2: deadline miss rate vs offered load (1 server)",
+                ["load", "fifo", "edf", "lsf"], rows)
+    # At high load the gap must be material.
+    jobs = make_jobs(600, seed=31, load=0.95)
+    results = compare_policies(jobs)
+    assert results[EDF].miss_rate < results[FIFO].miss_rate
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_multiserver_scaling(benchmark):
+    """More servers, fewer misses, same job set."""
+    jobs = make_jobs(400, seed=37, load=1.8, servers=2)
+    one = simulate(jobs, EDF, servers=1)
+    two = simulate(jobs, EDF, servers=2)
+    assert two.miss_rate <= one.miss_rate
+
+    benchmark(simulate, jobs, EDF, 2)

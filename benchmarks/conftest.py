@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark asserts the *qualitative shape* of its experiment (who
+wins, what scales how) in addition to producing pytest-benchmark timings;
+EXPERIMENTS.md records the paper's qualitative statement next to the
+measured numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Action,
+    AttrType,
+    AttributeDef,
+    ClassDef,
+    Condition,
+    HiPAC,
+    Rule,
+)
+
+
+def stock_class() -> ClassDef:
+    return ClassDef("Stock", (
+        AttributeDef("symbol", AttrType.STRING, required=True, indexed=True),
+        AttributeDef("price", AttrType.NUMBER, default=0.0),
+    ))
+
+
+def make_db(**kwargs) -> HiPAC:
+    """A HiPAC instance with the Stock class defined."""
+    db = HiPAC(lock_timeout=30.0, **kwargs)
+    db.define_class(stock_class())
+    return db
+
+
+def seed_stocks(db: HiPAC, count: int, price: float = 100.0):
+    """Create ``count`` stocks; returns their OIDs."""
+    oids = []
+    with db.transaction() as txn:
+        for i in range(count):
+            oids.append(db.create(
+                "Stock", {"symbol": "S%04d" % i, "price": price}, txn))
+    return oids
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print one experiment table (visible with pytest -s; the assertions
+    encode the shape regardless)."""
+    print()
+    print("== %s ==" % title)
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)] if rows else [len(str(h)) for h in headers]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,114 @@
+"""Inventory control: the classic active-database features — integrity
+constraints, referential integrity, derived data, and alerters — all
+expressed as ECA rules (paper §1/§2: "Integrity constraints, access
+constraints, derived data, alerters, and other active DBMS features can all
+be expressed as ECA rules").
+
+Run:  python examples/inventory_control.py
+"""
+
+from repro import (
+    Attr,
+    AttrType,
+    AttributeDef,
+    ClassDef,
+    HiPAC,
+    IntegrityViolation,
+    Query,
+)
+from repro.declarative import (
+    Alerter,
+    CASCADE,
+    DerivedAttribute,
+    DomainConstraint,
+    ReferentialConstraint,
+    install_alerter,
+    install_derived_attribute,
+    install_domain_constraint,
+    install_referential_constraint,
+)
+from repro.conditions.condition import Condition
+from repro.events.spec import on_update
+
+
+def main() -> None:
+    db = HiPAC()
+    db.define_class(ClassDef("Warehouse", (
+        AttributeDef("city", AttrType.STRING, required=True),
+        AttributeDef("total_stock", AttrType.NUMBER, default=0),
+    )))
+    db.define_class(ClassDef("Item", (
+        AttributeDef("sku", AttrType.STRING, required=True, indexed=True),
+        AttributeDef("warehouse", AttrType.OID),
+        AttributeDef("quantity", AttrType.INT, default=0),
+        AttributeDef("reorder_level", AttrType.INT, default=10),
+    )))
+
+    # 1. Domain constraint: quantities never go negative (checked at commit,
+    #    abort contingency).
+    install_domain_constraint(db, DomainConstraint(
+        "non-negative-quantity", "Item", Attr("quantity") >= 0))
+
+    # 2. Referential integrity: items must reference a live warehouse;
+    #    deleting a warehouse cascades to its items.
+    install_referential_constraint(db, ReferentialConstraint(
+        "item-warehouse", "Item", "warehouse", "Warehouse",
+        on_delete=CASCADE))
+
+    # 3. Derived data: warehouse.total_stock = sum(item.quantity).
+    install_derived_attribute(db, DerivedAttribute(
+        "warehouse-total", "Warehouse", "total_stock",
+        "Item", "warehouse", "quantity", aggregate="sum"))
+
+    # 4. Alerter: page the buyer when an item drops to its reorder level.
+    pages = []
+    install_alerter(db, Alerter(
+        "reorder",
+        event=on_update("Item", attrs=["quantity"]),
+        condition=Condition.of(
+            Query("Item", Attr("quantity") <= Attr("reorder_level"))),
+        notify=lambda ctx: pages.extend(ctx.results[0].values("sku")),
+        coupling="immediate",
+    ))
+
+    # ------------------------------------------------------------ workload
+    with db.transaction() as txn:
+        boston = db.create("Warehouse", {"city": "Boston"}, txn)
+        widget = db.create("Item", {"sku": "WIDGET", "warehouse": boston,
+                                    "quantity": 100}, txn)
+        gadget = db.create("Item", {"sku": "GADGET", "warehouse": boston,
+                                    "quantity": 40}, txn)
+
+    with db.transaction() as txn:
+        print("Boston total stock (derived):",
+              db.read(boston, txn)["total_stock"])
+
+    # Ship 95 widgets — crosses the reorder level, the alerter pages.
+    with db.transaction() as txn:
+        db.update(widget, {"quantity": 5}, txn)
+    print("pages sent by the reorder alerter:", pages)
+
+    with db.transaction() as txn:
+        print("Boston total stock after shipment:",
+              db.read(boston, txn)["total_stock"])
+
+    # Try to oversell — the integrity constraint aborts the transaction.
+    txn = db.begin()
+    try:
+        db.update(gadget, {"quantity": -10}, txn)
+        db.commit(txn)
+    except IntegrityViolation as exc:
+        print("oversell rejected:", exc)
+    with db.transaction() as txn:
+        print("GADGET quantity preserved:", db.read(gadget, txn)["quantity"])
+
+    # Close the warehouse — referential CASCADE removes its items.
+    with db.transaction() as txn:
+        db.delete(boston, txn)
+    with db.transaction() as txn:
+        remaining = db.query(Query("Item"), txn)
+    print("items remaining after closing Boston (CASCADE):", len(remaining))
+
+
+if __name__ == "__main__":
+    main()

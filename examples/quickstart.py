@@ -1,0 +1,91 @@
+"""Quickstart: define a class, create ECA rules, watch coupling modes work.
+
+Run:  python examples/quickstart.py
+
+This walks the core of the HiPAC model (McCarthy & Dayal, SIGMOD 1989):
+
+1. an object class and some instances;
+2. a rule with an *event* (price updates), a *condition* (a query), and an
+   *action* (a Python callable over the firing context);
+3. the three E-C coupling modes side by side — immediate (preempts the
+   operation), deferred (runs just before commit), separate (own top-level
+   transaction on its own thread).
+"""
+
+from repro import (
+    Action,
+    Attr,
+    ClassDef,
+    Condition,
+    HiPAC,
+    Query,
+    Rule,
+    attributes,
+    on_update,
+)
+
+
+def main() -> None:
+    db = HiPAC()
+
+    # ------------------------------------------------------------- schema
+    db.define_class(ClassDef("Stock", attributes(
+        "symbol", ("price", "number"))))
+
+    log = []
+
+    def watcher(mode):
+        return Rule(
+            name="watch-%s" % mode,
+            event=on_update("Stock", attrs=["price"]),
+            condition=Condition.of(Query("Stock", Attr("price") > 100.0)),
+            action=Action.call(
+                lambda ctx: log.append((mode, sorted(
+                    ctx.results[0].values("symbol"))))),
+            ec_coupling=mode,
+        )
+
+    for mode in ("immediate", "deferred", "separate"):
+        db.create_rule(watcher(mode))
+
+    # --------------------------------------------------------- trigger it
+    with db.transaction() as txn:
+        xrx = db.create("Stock", {"symbol": "XRX", "price": 45.0}, txn)
+        ibm = db.create("Stock", {"symbol": "IBM", "price": 95.0}, txn)
+        print("created XRX@45, IBM@95 — no rule fires (condition is false)")
+        db.update(ibm, {"price": 120.0}, txn)
+        print("updated IBM -> 120:")
+        print("  fired so far (inside the transaction):",
+              [entry for entry in log])
+        db.update(xrx, {"price": 130.0}, txn)
+        log_before_commit = list(log)
+    db.drain()
+
+    print("fired inside the transaction :",
+          [entry[0] for entry in log_before_commit])
+    print("fired in total               :", sorted({e[0] for e in log}))
+    print()
+    print("firing log:")
+    for firing in db.firing_log().all():
+        print("  rule=%-16s E-C=%-9s satisfied=%-5s cond-txn=%s action-txn=%s"
+              % (firing.rule_name, firing.ec_coupling, firing.satisfied,
+                 firing.condition_txn, firing.action_txn))
+
+    # --------------------------------------------- rules are data objects
+    print()
+    with db.transaction() as txn:
+        rule_rows = db.query(Query("HiPAC::Rule"), txn)
+        print("rules stored as first-class objects in class HiPAC::Rule:")
+        for row in rule_rows:
+            print("   %-18s enabled=%s E-C=%s" % (
+                row["name"], row["enabled"], row["ec_coupling"]))
+
+    stats = db.stats()
+    print()
+    print("condition evaluations: %d (answered from the condition graph: %d)"
+          % (stats["conditions"]["evaluations"],
+             stats["conditions"]["graph_answers"]))
+
+
+if __name__ == "__main__":
+    main()

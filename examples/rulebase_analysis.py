@@ -1,0 +1,118 @@
+"""Rule-base analysis and debugging — the paper's §7 future work, built.
+
+Run:  python examples/rulebase_analysis.py
+
+"As the rule base for an application grows, problems due to unexpected
+interactions among rules become more likely. ... Future research will
+produce the tools and techniques needed to develop large, complex rule
+bases."
+
+This example builds a small order-processing rule base with a deliberate
+bug (a triggering cycle) and shows the three tools at work:
+
+* the triggering-graph analyzer (cycles, write conflicts, strata),
+* the firing explainer (``explain`` / ``why_not``),
+* the transaction-tree renderer.
+"""
+
+from repro import (
+    Action,
+    AttrType,
+    AttributeDef,
+    ClassDef,
+    Condition,
+    CreateObject,
+    HiPAC,
+    Rule,
+    UpdateObject,
+    on_create,
+    on_update,
+)
+from repro.rules.actions import DatabaseStep
+from repro.tools import (
+    Effect,
+    RuleBaseAnalyzer,
+    analyze_rule_base,
+    explain,
+    render_transaction_tree,
+    why_not,
+)
+
+
+def main() -> None:
+    db = HiPAC()
+    db.define_class(ClassDef("Order", (
+        AttributeDef("item", AttrType.STRING, required=True),
+        AttributeDef("status", AttrType.STRING, default="new"),
+    )))
+    db.define_class(ClassDef("Invoice", (
+        AttributeDef("order", AttrType.OID),
+        AttributeDef("total", AttrType.NUMBER, default=0.0),
+    )))
+    db.define_class(ClassDef("AuditEntry", (
+        AttributeDef("note", AttrType.STRING, default=""),
+    )))
+
+    # A sensible rule: every order gets an invoice.
+    db.create_rule(Rule(
+        name="order-to-invoice",
+        event=on_create("Order"),
+        condition=Condition.true(),
+        action=Action.call(lambda ctx: ctx.create(
+            "Invoice", {"order": ctx.bindings["oid"]})),
+    ))
+    # Another: every invoice is audited.
+    db.create_rule(Rule(
+        name="invoice-audit",
+        event=on_create("Invoice"),
+        condition=Condition.true(),
+        action=Action.of(DatabaseStep(
+            CreateObject("AuditEntry", {"note": "invoiced"}))),
+    ))
+    # THE BUG (never enabled!): auditing that creates an order again.
+    buggy = Rule(
+        name="audit-reorders",
+        event=on_create("AuditEntry"),
+        condition=Condition.true(),
+        action=Action.of(DatabaseStep(CreateObject("Order", {"item": "?"}))),
+        enabled=True,
+    )
+    db.create_rule(buggy)
+    db.disable_rule("audit-reorders")   # a colleague noticed just in time
+
+    # ------------------------------------------------- static analysis
+    print("static analysis of the rule base")
+    print("--------------------------------")
+    report = analyze_rule_base(
+        db,
+        # order-to-invoice uses a callable action; declare its effect:
+        extra_effects={"order-to-invoice": [Effect.create("Invoice")]})
+    print(report.format())
+    print()
+    if report.has_potential_infinite_cascade():
+        print("=> the analyzer found the potential infinite cascade the")
+        print("   disabled rule would cause if re-enabled.")
+    print()
+
+    # ------------------------------------------------- dynamic explanation
+    print("dynamic firing explanation")
+    print("--------------------------")
+    with db.transaction() as txn:
+        db.create("Order", {"item": "widget"}, txn)
+        top = txn
+    print(explain(db.firing_log()))
+    print()
+    print("transaction tree of that request:")
+    print(render_transaction_tree(top))
+    print()
+
+    # ------------------------------------------------- why-not debugging
+    print("why-not debugging")
+    print("-----------------")
+    print(why_not(db, "audit-reorders"))
+    print(why_not(db, "order-to-invoice"))
+    print(why_not(db, "no-such-rule"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim: enables legacy editable installs (`pip install -e .`)
+on environments without the `wheel` package.  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

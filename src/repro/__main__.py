@@ -1,0 +1,55 @@
+"""``python -m repro`` — a one-minute demonstration of the system.
+
+Runs a condensed version of the quickstart and the SAA and prints the
+component trace of one rule firing, so a new user sees the architecture at
+work without writing code.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro import (
+    Action,
+    Attr,
+    ClassDef,
+    Condition,
+    HiPAC,
+    Query,
+    Rule,
+    attributes,
+    on_update,
+)
+
+
+def main() -> None:
+    print("repro %s — HiPAC active DBMS (McCarthy & Dayal, SIGMOD 1989)"
+          % repro.__version__)
+    print()
+    db = HiPAC()
+    db.define_class(ClassDef("Stock", attributes(
+        "symbol", ("price", "number"))))
+    alerts = []
+    db.create_rule(Rule(
+        name="price-alert",
+        event=on_update("Stock", attrs=["price"]),
+        condition=Condition.of(Query("Stock", Attr("price") > 100.0)),
+        action=Action.call(
+            lambda ctx: alerts.append(ctx.results[0].values("symbol"))),
+    ))
+    print("rule installed:", db.rule_names())
+
+    db.tracer.start()
+    with db.transaction() as txn:
+        oid = db.create("Stock", {"symbol": "XRX", "price": 95.0}, txn)
+        db.update(oid, {"price": 120.0}, txn)
+    trace = db.tracer.stop()
+    print("alerts fired:", alerts)
+    print()
+    print("component trace of that transaction (paper Figure 5.1 in action):")
+    print(trace.format())
+    print()
+    print("run the examples for more:  python examples/quickstart.py")
+
+
+if __name__ == "__main__":
+    main()

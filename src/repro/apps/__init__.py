@@ -1,0 +1,23 @@
+"""The application paradigm: channels, the registry, and the four-module
+application interface of Figure 4.1."""
+
+from repro.apps.channel import Channel, Request
+from repro.apps.registry import ApplicationRegistry
+from repro.apps.interface import (
+    ApplicationInterface,
+    DataModule,
+    EventModule,
+    OperationsModule,
+    TransactionModule,
+)
+
+__all__ = [
+    "Channel",
+    "Request",
+    "ApplicationRegistry",
+    "ApplicationInterface",
+    "DataModule",
+    "TransactionModule",
+    "EventModule",
+    "OperationsModule",
+]

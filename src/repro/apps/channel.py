@@ -1,0 +1,117 @@
+"""Request/reply channels between HiPAC and application programs.
+
+"A mechanism must be provided for communicating requests from the Rule
+Manager to applications.  In most systems, the DBMS and application run in
+different address spaces ... the same underlying operating system facility
+can be used to reverse the direction in which requests and replies are
+transmitted." (paper §4.1)
+
+This in-process equivalent models that reversal with queues: HiPAC posts a
+:class:`Request` on an application's channel and waits for (or, for one-way
+notifications, skips) the reply.  Channels support synchronous dispatch
+(the registered handler runs in the caller's thread — the default, which
+keeps tests deterministic) or mailbox mode, where requests accumulate until
+the application's own loop drains them with :meth:`Channel.serve`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ApplicationError
+
+Handler = Callable[..., Any]
+
+
+@dataclass
+class Request:
+    """One request from HiPAC to an application program."""
+
+    application: str
+    operation: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    reply: Any = None
+    error: Optional[str] = None
+    completed: bool = False
+
+
+class Channel:
+    """The communication endpoint of one application program."""
+
+    def __init__(self, application: str, *, mailbox: bool = False) -> None:
+        self.application = application
+        self.mailbox = mailbox
+        self._handlers: Dict[str, Handler] = {}
+        self._queue: "queue.Queue[Request]" = queue.Queue()
+        self._mutex = threading.Lock()
+        #: every request ever dispatched (the experiment harnesses inspect
+        #: this to show, e.g., that SAA programs interact only through rules)
+        self.history: List[Request] = []
+
+    def register(self, operation: str, handler: Handler) -> None:
+        """Register the handler for one application operation."""
+        with self._mutex:
+            self._handlers[operation] = handler
+
+    def operations(self) -> List[str]:
+        """Names of the registered operations."""
+        with self._mutex:
+            return sorted(self._handlers)
+
+    def dispatch(self, request: Request) -> Any:
+        """Deliver a request.
+
+        In synchronous mode the handler runs immediately and the reply is
+        returned; in mailbox mode the request is queued for :meth:`serve`
+        and None is returned (the request object carries the reply once
+        served)."""
+        with self._mutex:
+            self.history.append(request)
+            handler = self._handlers.get(request.operation)
+        if handler is None:
+            raise ApplicationError(
+                "application %r has no operation %r"
+                % (self.application, request.operation))
+        if self.mailbox:
+            self._queue.put(request)
+            return None
+        return self._run(handler, request)
+
+    def serve(self, max_requests: Optional[int] = None) -> int:
+        """Mailbox mode: run queued requests in the caller's thread.
+
+        Returns the number of requests served."""
+        served = 0
+        while max_requests is None or served < max_requests:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            with self._mutex:
+                handler = self._handlers.get(request.operation)
+            if handler is None:
+                request.error = "no such operation"
+                request.completed = True
+                continue
+            self._run(handler, request)
+            served += 1
+        return served
+
+    def pending(self) -> int:
+        """Number of queued (unserved) requests in mailbox mode."""
+        return self._queue.qsize()
+
+    def _run(self, handler: Handler, request: Request) -> Any:
+        try:
+            request.reply = handler(**request.args)
+        except Exception as exc:
+            request.error = str(exc)
+            request.completed = True
+            raise ApplicationError(
+                "application %r operation %r failed: %s"
+                % (self.application, request.operation, exc)) from exc
+        request.completed = True
+        return request.reply

@@ -1,0 +1,14 @@
+"""Baselines: the passive DBMS with polling clients, and System R /
+Sybase-style simple triggers (the prior art of the paper's §1/§4)."""
+
+from repro.baseline.passive import PassiveDBMS, PollStats, PollingClient
+from repro.baseline.triggers import Trigger, TriggerInvocation, TriggerSystem
+
+__all__ = [
+    "PassiveDBMS",
+    "PollingClient",
+    "PollStats",
+    "Trigger",
+    "TriggerInvocation",
+    "TriggerSystem",
+]

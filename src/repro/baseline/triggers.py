@@ -1,0 +1,111 @@
+"""System R / Sybase-style simple triggers — the prior art HiPAC contrasts.
+
+"Consider triggers in System R and Sybase.  The event for a trigger is an
+insert, update, or delete on a table; the action is expressed in SQL."
+(paper §4)  Relative to ECA rules, these triggers are restricted:
+
+* events are DML on one table only — no temporal, external, or composite
+  events, no transaction events;
+* actions are database operations only — no requests to applications;
+* coupling is implicitly immediate/immediate — no deferred or separate
+  modes, no choice of transaction context;
+* there is no separate condition with its own coupling: the trigger body
+  tests what it needs inline.
+
+:class:`TriggerSystem` implements them over :class:`PassiveDBMS` as a delta
+listener, which is faithful to how such triggers piggyback on the update
+path.  The expressiveness benchmark shows which paper scenarios they cannot
+express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.baseline.passive import PassiveDBMS
+from repro.errors import RuleError
+from repro.objstore.store import CREATE, DELETE, UPDATE, Delta
+from repro.txn.transaction import Transaction
+
+TriggerBody = Callable[["TriggerInvocation"], None]
+
+_DML = {"insert": CREATE, "update": UPDATE, "delete": DELETE}
+
+
+@dataclass
+class TriggerInvocation:
+    """What a trigger body receives: the row images and a data handle.
+
+    ``old``/``new`` are the before/after attribute snapshots (None for the
+    missing side of insert/delete); operations performed through ``db`` run
+    in the triggering transaction (``txn``) — the only context simple
+    triggers have.
+    """
+
+    db: PassiveDBMS
+    txn: Transaction
+    table: str
+    operation: str
+    oid: Any
+    old: Optional[Dict[str, Any]]
+    new: Optional[Dict[str, Any]]
+
+
+@dataclass
+class Trigger:
+    """One table-level trigger: fires on ``operation`` against ``table``."""
+
+    name: str
+    table: str
+    operation: str  # "insert" | "update" | "delete"
+    body: TriggerBody
+
+    def __post_init__(self) -> None:
+        if self.operation not in _DML:
+            raise RuleError(
+                "simple triggers support insert/update/delete only, not %r"
+                % self.operation)
+
+
+class TriggerSystem:
+    """The trigger registry and dispatcher of the passive baseline."""
+
+    def __init__(self, db: PassiveDBMS, max_depth: int = 16) -> None:
+        self.db = db
+        self.max_depth = max_depth
+        self._triggers: Dict[tuple, List[Trigger]] = {}
+        self._depth = 0
+        self.stats = {"fired": 0}
+        db.object_manager.add_delta_listener(self._on_delta)
+
+    def create_trigger(self, trigger: Trigger) -> Trigger:
+        """Register a trigger (table + operation)."""
+        key = (trigger.table, _DML[trigger.operation])
+        self._triggers.setdefault(key, []).append(trigger)
+        return trigger
+
+    def drop_trigger(self, name: str) -> None:
+        """Remove the trigger named ``name``."""
+        for key, triggers in list(self._triggers.items()):
+            self._triggers[key] = [t for t in triggers if t.name != name]
+            if not self._triggers[key]:
+                del self._triggers[key]
+
+    def _on_delta(self, txn: Transaction, delta: Delta) -> None:
+        triggers = self._triggers.get((delta.class_name, delta.kind))
+        if not triggers:
+            return
+        if self._depth >= self.max_depth:
+            raise RuleError("trigger cascade exceeded depth %d" % self.max_depth)
+        operation = {CREATE: "insert", UPDATE: "update", DELETE: "delete"}[delta.kind]
+        invocation = TriggerInvocation(
+            db=self.db, txn=txn, table=delta.class_name, operation=operation,
+            oid=delta.oid, old=delta.old_attrs, new=delta.new_attrs)
+        self._depth += 1
+        try:
+            for trigger in list(triggers):
+                self.stats["fired"] += 1
+                trigger.body(invocation)
+        finally:
+            self._depth -= 1

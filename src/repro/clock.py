@@ -1,0 +1,130 @@
+"""Clock abstraction driving temporal event detection.
+
+The HiPAC paper defines temporal events (absolute, relative, periodic) but its
+prototype ran on wall-clock time.  For a reproducible system we inject a clock:
+
+* :class:`VirtualClock` — time advances only when the test/benchmark calls
+  :meth:`~VirtualClock.advance` (or sets it), making every temporal experiment
+  deterministic.
+* :class:`SystemClock` — wall-clock time for interactive use.
+
+Listeners (the temporal event detector) subscribe to be told whenever time
+moves forward so they can fire any timers that became due.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List
+
+ClockListener = Callable[[float], None]
+"""Callback invoked with the new current time after the clock advances."""
+
+
+class Clock:
+    """Interface shared by virtual and system clocks."""
+
+    def now(self) -> float:
+        """Return the current time in seconds."""
+        raise NotImplementedError
+
+    def subscribe(self, listener: ClockListener) -> None:
+        """Register ``listener`` to be called when time advances."""
+        raise NotImplementedError
+
+    def unsubscribe(self, listener: ClockListener) -> None:
+        """Remove a previously registered listener (no-op if absent)."""
+        raise NotImplementedError
+
+
+class VirtualClock(Clock):
+    """A deterministic, manually advanced clock.
+
+    Time starts at ``start`` (default ``0.0``) and only moves when
+    :meth:`advance` or :meth:`set` is called.  Listeners run synchronously in
+    the advancing thread, so by the time ``advance`` returns every timer that
+    became due has fired.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._listeners: List[ClockListener] = []
+        self._lock = threading.RLock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative).
+
+        Returns the new current time.  Listeners are notified once, with the
+        final time; detectors are responsible for firing every timer that
+        became due in the interval, in deadline order.
+        """
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards: %r" % seconds)
+        with self._lock:
+            self._now += seconds
+            now = self._now
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(now)
+        return now
+
+    def set(self, now: float) -> float:
+        """Jump the clock to an absolute time (must not move backwards)."""
+        with self._lock:
+            if now < self._now:
+                raise ValueError(
+                    "cannot move clock backwards: %r -> %r" % (self._now, now)
+                )
+            self._now = float(now)
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(now)
+        return now
+
+    def subscribe(self, listener: ClockListener) -> None:
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: ClockListener) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+
+class SystemClock(Clock):
+    """Wall-clock time.
+
+    Listeners are invoked from :meth:`tick`, which callers (or a background
+    thread owned by the application) must pump; the library itself never
+    spawns a timekeeping thread so that tests stay deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._listeners: List[ClockListener] = []
+        self._lock = threading.RLock()
+
+    def now(self) -> float:
+        return time.time()
+
+    def tick(self) -> float:
+        """Notify listeners of the current wall-clock time."""
+        now = self.now()
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(now)
+        return now
+
+    def subscribe(self, listener: ClockListener) -> None:
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: ClockListener) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)

@@ -1,0 +1,14 @@
+"""Conditions and the Condition Evaluator with its condition graph (§5.5)."""
+
+from repro.conditions.condition import Condition, ConditionOutcome
+from repro.conditions.graph import AlphaNode, ConditionGraph, alpha_key
+from repro.conditions.evaluator import ConditionEvaluator
+
+__all__ = [
+    "Condition",
+    "ConditionOutcome",
+    "ConditionEvaluator",
+    "ConditionGraph",
+    "AlphaNode",
+    "alpha_key",
+]

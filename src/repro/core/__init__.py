@@ -1,0 +1,5 @@
+"""Core: the assembled HiPAC system and the component-interaction tracer."""
+
+from repro.core import tracing
+
+__all__ = ["tracing"]

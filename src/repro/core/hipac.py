@@ -1,0 +1,294 @@
+"""The assembled HiPAC system (paper Figure 5.1).
+
+:class:`HiPAC` constructs and wires the five functional components —
+
+* Object Manager (object-oriented data management),
+* Transaction Manager (nested transactions),
+* Event Detectors (database, temporal, external, composite),
+* Rule Manager (events -> rule firings -> transactions),
+* Condition Evaluator (condition graph) —
+
+exactly along the edges of Figure 5.1, and exposes the public API
+applications use: data and transaction operations, event define/signal,
+rule operations (create / delete / enable / disable / fire), and
+per-application interfaces (Figure 4.1).
+
+Construction flags select the ablations the benchmarks compare:
+``use_condition_graph=False`` disables multiple-query sharing;
+``use_indexes=False`` disables index probes; ``concurrent_conditions=True``
+evaluates immediate-group conditions in concurrent sibling subtransactions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.apps.interface import ApplicationInterface
+from repro.apps.registry import ApplicationRegistry
+from repro.clock import Clock, VirtualClock
+from repro.conditions.evaluator import ConditionEvaluator
+from repro.core import tracing
+from repro.events.composite import CompositeEventDetector
+from repro.events.external import ExternalEventDetector
+from repro.events.signal import EventSignal
+from repro.events.spec import EventSpec, ExternalEventSpec
+from repro.events.temporal import TemporalEventDetector
+from repro.objstore.manager import ObjectManager
+from repro.objstore.objects import OID
+from repro.objstore.operations import DefineClass, DropClass, Operation
+from repro.objstore.predicates import Bindings
+from repro.objstore.query import Query, QueryResult
+from repro.objstore.store import ObjectStore
+from repro.objstore.types import AttributeDef, ClassDef
+from repro.rules.manager import RuleManager, RuleManagerConfig
+from repro.rules.rule import Rule, rule_class_def
+from repro.txn.locks import LockManager
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction
+
+
+class HiPAC:
+    """An active, object-oriented DBMS with ECA rules."""
+
+    def __init__(self, *, clock: Optional[Clock] = None,
+                 lock_timeout: float = 10.0,
+                 use_condition_graph: bool = True,
+                 use_indexes: bool = True,
+                 config: Optional[RuleManagerConfig] = None,
+                 signal_transaction_events: bool = True) -> None:
+        self.tracer = tracing.Tracer()
+        self.clock = clock or VirtualClock()
+        self.store = ObjectStore()
+        self.locks = LockManager(default_timeout=lock_timeout)
+        self.transaction_manager = TransactionManager(self.locks, self.tracer)
+        self.transaction_manager.signal_transaction_events = signal_transaction_events
+        self.object_manager = ObjectManager(self.store, self.transaction_manager,
+                                            self.tracer, self.clock)
+        self.object_manager.executor.use_indexes = use_indexes
+        self.condition_evaluator = ConditionEvaluator(
+            self.object_manager, self.tracer, use_graph=use_condition_graph)
+        self.temporal_detector = TemporalEventDetector(
+            self.clock, tracer=self.tracer, schema=self.store.schema)
+        self.external_detector = ExternalEventDetector(tracer=self.tracer)
+        self.composite_detector = CompositeEventDetector(
+            tracer=self.tracer, schema=self.store.schema)
+        self.applications = ApplicationRegistry(self.tracer)
+        self.rule_manager = RuleManager(
+            self.object_manager, self.transaction_manager,
+            self.condition_evaluator, self.temporal_detector,
+            self.external_detector, self.composite_detector,
+            tracer=self.tracer, clock=self.clock,
+            applications=self.applications, config=config)
+        # Figure 5.1 wiring: every detector reports to the Rule Manager; the
+        # Transaction Manager signals transaction termination to it.
+        self.object_manager.event_detector.sink = self.rule_manager.signal_event
+        self.temporal_detector.sink = self.rule_manager.signal_event
+        self.external_detector.sink = self.rule_manager.signal_event
+        self.composite_detector.sink = self.rule_manager.signal_event
+        self.transaction_manager.event_sink = self.rule_manager.transaction_event
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        """Create the ``HiPAC::Rule`` system class and program the Rule
+        Manager's self-management events."""
+        txn = self.transaction_manager.create_transaction(label="bootstrap")
+        self.object_manager.execute_operation(DefineClass(rule_class_def()), txn)
+        self.transaction_manager.commit_transaction(txn)
+        for spec in self.rule_manager.bootstrap_specs():
+            self.object_manager.event_detector.define_event(spec)
+
+    # ------------------------------------------------------------- schema
+
+    def define_class(self, class_def: ClassDef,
+                     txn: Optional[Transaction] = None) -> ClassDef:
+        """Define an object class (auto-commits when no ``txn`` is given)."""
+        if txn is not None:
+            self.object_manager.execute_operation(DefineClass(class_def), txn)
+            return class_def
+        with self.transaction() as auto:
+            self.object_manager.execute_operation(DefineClass(class_def), auto)
+        return class_def
+
+    def drop_class(self, class_name: str,
+                   txn: Optional[Transaction] = None) -> None:
+        """Drop an (empty) object class."""
+        if txn is not None:
+            self.object_manager.execute_operation(DropClass(class_name), txn)
+            return
+        with self.transaction() as auto:
+            self.object_manager.execute_operation(DropClass(class_name), auto)
+
+    # ------------------------------------------------------------- data ops
+
+    def execute_operation(self, op: Operation, txn: Transaction, *,
+                          user: str = "application") -> Any:
+        """Execute a database operation in ``txn`` (paper §5.1 interface)."""
+        return self.object_manager.execute_operation(op, txn, user=user)
+
+    def create(self, class_name: str, attrs: Optional[Dict[str, Any]] = None,
+               txn: Optional[Transaction] = None) -> OID:
+        """Create an object in ``txn``."""
+        return self.object_manager.create(class_name, attrs, txn)
+
+    def update(self, oid: OID, changes: Dict[str, Any],
+               txn: Optional[Transaction] = None) -> None:
+        """Update an object in ``txn``."""
+        self.object_manager.update(oid, changes, txn)
+
+    def delete(self, oid: OID, txn: Optional[Transaction] = None) -> None:
+        """Delete an object in ``txn``."""
+        self.object_manager.delete(oid, txn)
+
+    def read(self, oid: OID, txn: Transaction) -> Dict[str, Any]:
+        """Read one object's attributes in ``txn``."""
+        return self.object_manager.read(oid, txn)
+
+    def query(self, query: Query, txn: Transaction,
+              bindings: Bindings = ()) -> QueryResult:
+        """Run a query in ``txn``."""
+        return self.object_manager.execute_query(query, txn, bindings)
+
+    # ------------------------------------------------------------ txn ops
+
+    def begin(self, parent: Optional[Transaction] = None,
+              **kwargs: Any) -> Transaction:
+        """Create a top-level transaction (or a subtransaction of ``parent``)."""
+        return self.transaction_manager.create_transaction(parent, **kwargs)
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit a transaction (processing its deferred rule firings first)."""
+        self.transaction_manager.commit_transaction(txn)
+
+    def abort(self, txn: Transaction) -> None:
+        """Abort a transaction."""
+        self.transaction_manager.abort_transaction(txn)
+
+    @contextlib.contextmanager
+    def transaction(self, parent: Optional[Transaction] = None,
+                    **kwargs: Any) -> Iterator[Transaction]:
+        """Context manager: commit on success, abort on exception."""
+        txn = self.begin(parent, **kwargs)
+        try:
+            yield txn
+        except BaseException:
+            if not txn.is_finished():
+                self.abort(txn)
+            raise
+        else:
+            if not txn.is_finished():
+                self.commit(txn)
+
+    # ------------------------------------------------------------ rule ops
+
+    def create_rule(self, rule: Rule, txn: Optional[Transaction] = None) -> Rule:
+        """Create an ECA rule (auto-commits when no ``txn`` is given)."""
+        if txn is not None:
+            return self.rule_manager.create_rule(rule, txn)
+        with self.transaction() as auto:
+            return self.rule_manager.create_rule(rule, auto)
+
+    def delete_rule(self, name: str, txn: Optional[Transaction] = None) -> None:
+        """Delete a rule."""
+        if txn is not None:
+            self.rule_manager.delete_rule(name, txn)
+            return
+        with self.transaction() as auto:
+            self.rule_manager.delete_rule(name, auto)
+
+    def enable_rule(self, name: str, txn: Optional[Transaction] = None) -> None:
+        """Enable automatic firing of a rule."""
+        if txn is not None:
+            self.rule_manager.enable_rule(name, txn)
+            return
+        with self.transaction() as auto:
+            self.rule_manager.enable_rule(name, auto)
+
+    def disable_rule(self, name: str, txn: Optional[Transaction] = None) -> None:
+        """Disable automatic firing of a rule."""
+        if txn is not None:
+            self.rule_manager.disable_rule(name, txn)
+            return
+        with self.transaction() as auto:
+            self.rule_manager.disable_rule(name, auto)
+
+    def fire_rule(self, name: str, txn: Optional[Transaction] = None, *,
+                  args: Optional[Dict[str, Any]] = None) -> None:
+        """Manually fire a rule (the paper's *fire* operation)."""
+        self.rule_manager.fire_rule(name, txn, args=args)
+
+    def rule_names(self) -> List[str]:
+        """Names of all rules."""
+        return self.rule_manager.rule_names()
+
+    def rules_in_group(self, group: str) -> List[str]:
+        """Names of the rules in a rule group (paper §4.2)."""
+        return self.rule_manager.rules_in_group(group)
+
+    def enable_group(self, group: str,
+                     txn: Optional[Transaction] = None) -> List[str]:
+        """Enable a whole rule group."""
+        if txn is not None:
+            return self.rule_manager.enable_group(group, txn)
+        with self.transaction() as auto:
+            return self.rule_manager.enable_group(group, auto)
+
+    def disable_group(self, group: str,
+                      txn: Optional[Transaction] = None) -> List[str]:
+        """Disable a whole rule group."""
+        if txn is not None:
+            return self.rule_manager.disable_group(group, txn)
+        with self.transaction() as auto:
+            return self.rule_manager.disable_group(group, auto)
+
+    # ----------------------------------------------------------- event ops
+
+    def define_event(self, name: str, *parameters: str) -> ExternalEventSpec:
+        """Define an application event (Figure 4.1 event-operations module)."""
+        spec = ExternalEventSpec(name, tuple(parameters))
+        self.external_detector.define_event(spec)
+        return spec
+
+    def signal_event(self, name: str, args: Optional[Dict[str, Any]] = None,
+                     txn: Optional[Transaction] = None) -> EventSignal:
+        """Signal an application event; returns after triggered
+        immediate/deferred rule work completes."""
+        return self.external_detector.signal(name, args, txn=txn,
+                                             timestamp=self.clock.now())
+
+    # -------------------------------------------------------- applications
+
+    def application(self, name: str, *, mailbox: bool = False) -> ApplicationInterface:
+        """Return an application program's four-module interface (Fig 4.1)."""
+        return ApplicationInterface(
+            name, self.object_manager, self.transaction_manager,
+            self.external_detector, self.applications, self.clock,
+            self.tracer, mailbox=mailbox)
+
+    # ---------------------------------------------------------------- misc
+
+    def advance_time(self, seconds: float) -> float:
+        """Advance the (virtual) clock, firing due temporal events."""
+        if not isinstance(self.clock, VirtualClock):
+            raise TypeError("advance_time requires a VirtualClock")
+        return self.clock.advance(seconds)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for all separate-coupling rule firings to finish."""
+        return self.rule_manager.drain(timeout)
+
+    def firing_log(self):
+        """The rule-firing log (see :class:`repro.rules.firing.FiringLog`)."""
+        return self.rule_manager.firings
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Aggregated component statistics (benchmark reporting)."""
+        return {
+            "rules": dict(self.rule_manager.stats),
+            "transactions": dict(self.transaction_manager.stats),
+            "locks": dict(self.locks.stats),
+            "objects": dict(self.object_manager.stats),
+            "conditions": dict(self.condition_evaluator.stats),
+            "condition_graph": dict(self.condition_evaluator.graph.stats),
+            "applications": dict(self.applications.stats),
+        }

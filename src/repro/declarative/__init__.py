@@ -1,0 +1,32 @@
+"""Declarative active-DB features compiled to ECA rules: integrity
+constraints, referential integrity, derived data, alerters, and access
+constraints (the features the paper says ECA rules subsume)."""
+
+from repro.declarative.constraints import (
+    CASCADE,
+    RESTRICT,
+    SET_NULL,
+    DomainConstraint,
+    ReferentialConstraint,
+    install_domain_constraint,
+    install_referential_constraint,
+)
+from repro.declarative.derived import DerivedAttribute, install_derived_attribute
+from repro.declarative.alerters import Alerter, install_alerter
+from repro.declarative.access import AccessConstraint, install_access_constraint
+
+__all__ = [
+    "DomainConstraint",
+    "ReferentialConstraint",
+    "RESTRICT",
+    "CASCADE",
+    "SET_NULL",
+    "install_domain_constraint",
+    "install_referential_constraint",
+    "DerivedAttribute",
+    "install_derived_attribute",
+    "Alerter",
+    "install_alerter",
+    "AccessConstraint",
+    "install_access_constraint",
+]

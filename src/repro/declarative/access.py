@@ -1,0 +1,75 @@
+"""Access constraints compiled to ECA rules (paper §1, §2).
+
+Access constraints restrict which users may perform which operations.
+Every database event signal carries the requesting user (the Object Manager
+threads it through from the operation), so an access constraint is an ECA
+rule with immediate coupling whose action aborts the operation when the
+user is not authorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, Optional
+
+from repro.conditions.condition import Condition
+from repro.errors import AccessDenied
+from repro.events.spec import DatabaseEventSpec, Disjunction, EventSpec
+from repro.rules.actions import Action, ActionContext, CallStep
+from repro.rules.coupling import IMMEDIATE
+from repro.rules.rule import Rule
+
+
+@dataclass(frozen=True)
+class AccessConstraint:
+    """Only ``allowed_users`` may perform ``operations`` on ``class_name``.
+
+    ``operations`` is a subset of {"create", "update", "delete", "read",
+    "query"} (the last two guard retrieval — the extension events);
+    ``check`` (optional) replaces the allow-list with an arbitrary predicate
+    over (user, bindings).
+    """
+
+    name: str
+    class_name: str
+    operations: Iterable[str] = ("create", "update", "delete")
+    allowed_users: FrozenSet[str] = frozenset()
+    check: Optional[Callable[[str, dict], bool]] = None
+
+    def to_rule(self) -> Rule:
+        """Compile to an immediate-coupling guard rule."""
+        allowed = frozenset(self.allowed_users) | {"system"}
+        check = self.check
+
+        def guard(ctx: ActionContext) -> None:
+            user = ctx.bindings.get("user", "system")
+            if check is not None:
+                authorized = check(user, ctx.bindings)
+            else:
+                authorized = user in allowed
+            if not authorized:
+                raise AccessDenied(
+                    "user %r may not %s %s" % (
+                        user, ctx.bindings.get("op"), self.class_name),
+                    constraint=self.name, user=user)
+
+        specs = [DatabaseEventSpec(op, self.class_name)
+                 for op in self.operations]
+        event: EventSpec = specs[0] if len(specs) == 1 else Disjunction(*specs)
+        return Rule(
+            name="access:%s" % self.name,
+            event=event,
+            condition=Condition.true(),
+            action=Action.of(CallStep(guard, label="access-check")),
+            ec_coupling=IMMEDIATE,
+            ca_coupling=IMMEDIATE,
+            priority=100,  # guards fire before ordinary rules in serial mode
+            description="access constraint on %s" % self.class_name,
+        )
+
+
+def install_access_constraint(db, constraint: AccessConstraint, txn=None) -> Rule:
+    """Compile and create an access constraint's rule."""
+    rule = constraint.to_rule()
+    db.create_rule(rule, txn)
+    return rule

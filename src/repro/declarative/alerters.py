@@ -1,0 +1,68 @@
+"""Alerters compiled to ECA rules (paper §1, §2).
+
+An *alerter* watches a condition over the database and notifies an
+application (or arbitrary callback) when it becomes observable.  This is the
+paper's motivating active-database feature — and in the SAA example every
+display rule is exactly an alerter whose notification is a request to the
+display program.
+
+Alerters default to **separate** coupling ("condition and action together in
+a separate transaction", the coupling of both SAA example rules): the
+monitored transaction is never slowed down or aborted by notification
+failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.conditions.condition import Condition
+from repro.events.spec import EventSpec
+from repro.rules.actions import Action, ActionContext, CallStep, RequestStep
+from repro.rules.coupling import IMMEDIATE, SEPARATE
+from repro.rules.rule import Rule
+
+
+@dataclass(frozen=True)
+class Alerter:
+    """Notify when ``event`` occurs and ``condition`` holds.
+
+    ``notify`` is either a callable over the action context or an
+    ``(application, operation)`` pair — in the latter case the notification
+    is delivered as an application request carrying the event bindings.
+    """
+
+    name: str
+    event: EventSpec
+    condition: Condition
+    notify: Union[Callable[[ActionContext], Any], tuple]
+    coupling: str = SEPARATE
+
+    def to_rule(self) -> Rule:
+        """Compile to an ECA rule with the alerter's coupling."""
+        if isinstance(self.notify, tuple):
+            application, operation = self.notify
+
+            def build_args(ctx: ActionContext) -> Dict[str, Any]:
+                return {"alerter": self.name, "bindings": dict(ctx.bindings)}
+
+            action = Action.of(RequestStep(application, operation, build_args))
+        else:
+            action = Action.of(CallStep(self.notify, label="notify:%s" % self.name))
+        return Rule(
+            name="alerter:%s" % self.name,
+            event=self.event,
+            condition=self.condition,
+            action=action,
+            ec_coupling=self.coupling,
+            ca_coupling=IMMEDIATE,
+            description="alerter %s" % self.name,
+        )
+
+
+def install_alerter(db, alerter: Alerter, txn=None) -> Rule:
+    """Compile and create an alerter's rule."""
+    rule = alerter.to_rule()
+    db.create_rule(rule, txn)
+    return rule

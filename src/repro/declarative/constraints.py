@@ -1,0 +1,205 @@
+"""Integrity constraints compiled to ECA rules (paper §1, §2).
+
+"Integrity constraints, access constraints, derived data, alerters, and
+other active DBMS features can all be expressed as ECA rules."  This module
+is that compilation for integrity constraints:
+
+* :class:`DomainConstraint` — every instance of a class must satisfy a
+  predicate; compiled to a rule on create/update whose condition finds
+  violating instances and whose action applies the *contingency* (abort the
+  transaction, or run a repair).
+* :class:`ReferentialConstraint` — a foreign-key attribute must reference a
+  live instance of the target class; delete/update of the target applies
+  RESTRICT / CASCADE / SET NULL (the ANSI SQL2 referential actions the
+  paper's introduction mentions).
+
+Constraint rules use **deferred** E-C coupling by default so that
+multi-operation transactions are checked once, at commit, against their
+final state — set ``immediate=True`` for per-operation checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.conditions.condition import Condition
+from repro.errors import IntegrityViolation
+from repro.events.spec import Disjunction, on_create, on_delete, on_update
+from repro.objstore.predicates import Attr, Compare, Not, Predicate
+from repro.objstore.query import Query
+from repro.rules.actions import AbortStep, Action, ActionContext, CallStep
+from repro.rules.coupling import DEFERRED, IMMEDIATE
+from repro.rules.rule import Rule
+
+RESTRICT = "restrict"
+CASCADE = "cascade"
+SET_NULL = "set-null"
+
+
+@dataclass(frozen=True)
+class DomainConstraint:
+    """All instances of ``class_name`` must satisfy ``predicate``.
+
+    ``repair`` (optional) is a callable over the action context receiving
+    the violating rows; when given, the contingency is repair instead of
+    abort.
+    """
+
+    name: str
+    class_name: str
+    predicate: Predicate
+    repair: Optional[object] = None
+    immediate: bool = False
+
+    def to_rule(self) -> Rule:
+        """Compile to an ECA rule.
+
+        Event: create/update on the class (scoped to the predicate's
+        attributes).  Condition: a query finding instances violating the
+        predicate.  Action: abort (or repair).
+        """
+        attrs = self.predicate.attributes() or None
+        event = Disjunction(
+            on_create(self.class_name),
+            on_update(self.class_name, attrs),
+        )
+        violation_query = Query(self.class_name, Not(self.predicate))
+        if self.repair is not None:
+            repair = self.repair
+
+            def do_repair(ctx: ActionContext) -> None:
+                repair(ctx, ctx.results[0])
+
+            action = Action.of(CallStep(do_repair, label="repair:%s" % self.name))
+        else:
+            action = Action.of(AbortStep(
+                "integrity constraint %r violated" % self.name,
+                error=IntegrityViolation(
+                    "integrity constraint %r violated on class %r"
+                    % (self.name, self.class_name),
+                    constraint=self.name)))
+        return Rule(
+            name="constraint:%s" % self.name,
+            event=event,
+            condition=Condition(queries=(violation_query,),
+                                name="violations:%s" % self.name),
+            action=action,
+            ec_coupling=IMMEDIATE if self.immediate else DEFERRED,
+            ca_coupling=IMMEDIATE,
+            description="domain constraint on %s" % self.class_name,
+        )
+
+
+@dataclass(frozen=True)
+class ReferentialConstraint:
+    """``source_class.fk_attr`` must reference a live ``target_class`` object.
+
+    ``on_delete`` selects the referential action applied when a referenced
+    target instance is deleted: RESTRICT aborts the deleting transaction if
+    references remain, CASCADE deletes the referencing sources, SET_NULL
+    clears their foreign keys.
+    """
+
+    name: str
+    source_class: str
+    fk_attr: str
+    target_class: str
+    on_delete: str = RESTRICT
+
+    def __post_init__(self) -> None:
+        if self.on_delete not in (RESTRICT, CASCADE, SET_NULL):
+            raise IntegrityViolation(
+                "unknown referential action %r" % self.on_delete,
+                constraint=self.name)
+
+    def to_rules(self) -> List[Rule]:
+        """Compile to ECA rules.
+
+        Rule 1 (insert/update side): when a source is created or its FK
+        updated, the FK (if not None) must reference a live target —
+        immediate coupling, checked via a parameterized condition.
+
+        Rule 2 (delete side): when a target is deleted, apply the
+        referential action to the sources referencing it.
+        """
+        from repro.errors import UnknownObjectError
+        from repro.objstore.predicates import EventArg
+
+        rules: List[Rule] = []
+
+        # --- insert/update side -------------------------------------------
+        def check_insert(ctx: ActionContext) -> None:
+            fk = ctx.bindings.get("new_%s" % self.fk_attr)
+            if fk is None:
+                return
+            try:
+                ctx.read(fk)
+            except UnknownObjectError:
+                raise IntegrityViolation(
+                    "dangling reference %s in %s.%s"
+                    % (fk, self.source_class, self.fk_attr),
+                    constraint=self.name) from None
+
+        rules.append(Rule(
+            name="constraint:%s:insert" % self.name,
+            event=Disjunction(on_create(self.source_class),
+                              on_update(self.source_class, [self.fk_attr])),
+            condition=Condition.true(),
+            action=Action.of(CallStep(check_insert, label="fk-check")),
+            ec_coupling=IMMEDIATE,
+            ca_coupling=IMMEDIATE,
+            description="referential integrity (insert side) %s" % self.name,
+        ))
+
+        # --- delete side ---------------------------------------------------
+        def referencing_query() -> Query:
+            return Query(self.source_class,
+                         Compare(Attr(self.fk_attr), "==", EventArg("oid")))
+
+        if self.on_delete == RESTRICT:
+            def on_target_delete(ctx: ActionContext) -> None:
+                if ctx.results[0]:
+                    raise IntegrityViolation(
+                        "cannot delete %s: %d %s objects still reference it"
+                        % (ctx.bindings.get("oid"), len(ctx.results[0]),
+                           self.source_class),
+                        constraint=self.name)
+        elif self.on_delete == CASCADE:
+            def on_target_delete(ctx: ActionContext) -> None:
+                for row in ctx.results[0]:
+                    ctx.delete(row.oid)
+        else:  # SET_NULL
+            def on_target_delete(ctx: ActionContext) -> None:
+                for row in ctx.results[0]:
+                    ctx.update(row.oid, {self.fk_attr: None})
+
+        rules.append(Rule(
+            name="constraint:%s:delete" % self.name,
+            event=on_delete(self.target_class),
+            condition=Condition(queries=(referencing_query(),),
+                                name="referencing:%s" % self.name),
+            action=Action.of(CallStep(on_target_delete,
+                                      label="referential-%s" % self.on_delete)),
+            ec_coupling=IMMEDIATE,
+            ca_coupling=IMMEDIATE,
+            description="referential integrity (delete side, %s) %s"
+                        % (self.on_delete, self.name),
+        ))
+        return rules
+
+
+def install_domain_constraint(db, constraint: DomainConstraint, txn=None) -> Rule:
+    """Compile and create a domain constraint's rule on a HiPAC instance."""
+    rule = constraint.to_rule()
+    db.create_rule(rule, txn)
+    return rule
+
+
+def install_referential_constraint(db, constraint: ReferentialConstraint,
+                                   txn=None) -> List[Rule]:
+    """Compile and create a referential constraint's rules."""
+    rules = constraint.to_rules()
+    for rule in rules:
+        db.create_rule(rule, txn)
+    return rules

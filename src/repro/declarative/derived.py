@@ -1,0 +1,117 @@
+"""Derived (materialized) data maintained by ECA rules (paper §1, §2.1).
+
+"Declarative rules for expressing relationships between data items
+[MOR83, STO86] are another form of active DBMS capability" — and the paper
+lists *derived data* among the features ECA rules subsume, with
+"materialization of derived data" among the Condition Evaluator's
+efficiency techniques.
+
+:class:`DerivedAttribute` maintains ``target.attr`` as an aggregate over the
+instances of a source class that reference the target: whenever a source
+instance is created, updated, or deleted, a rule recomputes the aggregate
+for the affected target object(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.conditions.condition import Condition
+from repro.errors import RuleError
+from repro.events.spec import Disjunction, on_create, on_delete, on_update
+from repro.objstore.objects import OID
+from repro.objstore.predicates import Attr, Compare, Const
+from repro.objstore.query import Query
+from repro.rules.actions import Action, ActionContext, CallStep
+from repro.rules.coupling import IMMEDIATE
+from repro.rules.rule import Rule
+
+AGGREGATES: dict = {
+    "sum": lambda values: sum(values),
+    "count": lambda values: len(values),
+    "min": lambda values: min(values) if values else None,
+    "max": lambda values: max(values) if values else None,
+    "avg": lambda values: (sum(values) / len(values)) if values else None,
+}
+
+
+@dataclass(frozen=True)
+class DerivedAttribute:
+    """``target_class.target_attr`` = aggregate of ``source_class.value_attr``
+    over the sources whose ``link_attr`` references the target.
+
+    ``aggregate`` is one of sum/count/min/max/avg or an arbitrary callable
+    over the list of source values.
+    """
+
+    name: str
+    target_class: str
+    target_attr: str
+    source_class: str
+    link_attr: str
+    value_attr: str
+    aggregate: Any = "sum"
+
+    def _fold(self) -> Callable[[List[Any]], Any]:
+        if callable(self.aggregate):
+            return self.aggregate
+        fold = AGGREGATES.get(self.aggregate)
+        if fold is None:
+            raise RuleError("unknown aggregate %r" % (self.aggregate,))
+        return fold
+
+    def to_rule(self) -> Rule:
+        """Compile to a maintenance rule on source-class changes.
+
+        Immediate coupling keeps the materialization transactionally
+        consistent with the sources: readers in the same (or any later)
+        transaction see the recomputed value.
+        """
+        fold = self._fold()
+
+        def targets_of(ctx: ActionContext) -> Iterable[OID]:
+            affected = set()
+            for key in ("old_%s" % self.link_attr, "new_%s" % self.link_attr):
+                target = ctx.bindings.get(key)
+                if isinstance(target, OID):
+                    affected.add(target)
+            return affected
+
+        def recompute(ctx: ActionContext) -> None:
+            for target in targets_of(ctx):
+                if not ctx.object_manager.store.exists(target):
+                    # The target itself is being deleted (e.g. a cascading
+                    # delete removed the sources first): nothing to maintain.
+                    continue
+                rows = ctx.query(Query(
+                    self.source_class,
+                    Compare(Attr(self.link_attr), "==", Const(target)),
+                ))
+                values = [row.get(self.value_attr) for row in rows
+                          if row.get(self.value_attr) is not None]
+                ctx.update(target, {self.target_attr: fold(values)})
+
+        event = Disjunction(
+            on_create(self.source_class),
+            on_update(self.source_class, [self.value_attr, self.link_attr]),
+            on_delete(self.source_class),
+        )
+        return Rule(
+            name="derived:%s" % self.name,
+            event=event,
+            condition=Condition.true(),
+            action=Action.of(CallStep(recompute, label="recompute:%s" % self.name)),
+            ec_coupling=IMMEDIATE,
+            ca_coupling=IMMEDIATE,
+            description="derived %s.%s = %s(%s.%s)" % (
+                self.target_class, self.target_attr, self.aggregate,
+                self.source_class, self.value_attr),
+        )
+
+
+def install_derived_attribute(db, derived: DerivedAttribute, txn=None) -> Rule:
+    """Compile and create a derived attribute's maintenance rule."""
+    rule = derived.to_rule()
+    db.create_rule(rule, txn)
+    return rule

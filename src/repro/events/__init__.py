@@ -1,0 +1,92 @@
+"""Events: specifications, signals, and the event detectors (paper §2.1, §5.3)."""
+
+from repro.events.spec import (
+    ALL_OPS,
+    DDL_OPS,
+    DML_OPS,
+    TXN_OPS,
+    OP_ABORT,
+    OP_BEGIN,
+    OP_COMMIT,
+    OP_CREATE,
+    OP_QUERY,
+    OP_READ,
+    OP_DEFINE_CLASS,
+    OP_DELETE,
+    OP_DROP_CLASS,
+    OP_UPDATE,
+    CompositeEventSpec,
+    Conjunction,
+    DatabaseEventSpec,
+    Disjunction,
+    EventSpec,
+    ExternalEventSpec,
+    Sequence,
+    TemporalEventSpec,
+    after,
+    at_time,
+    every,
+    external,
+    on_abort,
+    on_commit,
+    on_create,
+    on_delete,
+    on_query,
+    on_read,
+    on_update,
+)
+from repro.events.signal import EventSignal
+from repro.events.detectors import EventDetector, EventSink
+from repro.events.database import DatabaseEventDetector
+from repro.events.external import ExternalEventDetector
+from repro.events.temporal import TemporalEventDetector
+from repro.events.composite import CompositeEventDetector
+from repro.events.matching import matches_primitive
+from repro.events.derivation import derive_event_spec
+
+# Importing the repro.events.external *submodule* above rebinds the package
+# attribute "external" to the module; restore the spec helper of that name.
+from repro.events.spec import external  # noqa: E402,F811
+
+__all__ = [
+    "EventSpec",
+    "DatabaseEventSpec",
+    "TemporalEventSpec",
+    "ExternalEventSpec",
+    "CompositeEventSpec",
+    "Disjunction",
+    "Sequence",
+    "Conjunction",
+    "EventSignal",
+    "EventDetector",
+    "EventSink",
+    "DatabaseEventDetector",
+    "ExternalEventDetector",
+    "TemporalEventDetector",
+    "CompositeEventDetector",
+    "matches_primitive",
+    "derive_event_spec",
+    "on_create",
+    "on_update",
+    "on_delete",
+    "on_commit",
+    "on_abort",
+    "on_read",
+    "on_query",
+    "at_time",
+    "after",
+    "every",
+    "external",
+    "OP_CREATE",
+    "OP_UPDATE",
+    "OP_DELETE",
+    "OP_DEFINE_CLASS",
+    "OP_DROP_CLASS",
+    "OP_BEGIN",
+    "OP_COMMIT",
+    "OP_ABORT",
+    "DML_OPS",
+    "DDL_OPS",
+    "TXN_OPS",
+    "ALL_OPS",
+]

@@ -1,0 +1,52 @@
+"""The database event detector (paper §5.3).
+
+Database events are detected *inside* the Object Manager and Transaction
+Manager ("there are event detectors for database events (in the Object
+Manager and Transaction Manager)").  Those components call
+:meth:`DatabaseEventDetector.observe` with a raw signal describing the
+operation just performed; the detector reports one signal per programmed
+spec the operation satisfies.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional
+
+from repro.core import tracing
+from repro.events.detectors import EventDetector, EventSink
+from repro.events.matching import matches_primitive
+from repro.events.signal import EventSignal
+from repro.events.spec import DatabaseEventSpec
+from repro.objstore.types import Schema
+
+
+class DatabaseEventDetector(EventDetector):
+    """Matches database operations against programmed database-event specs."""
+
+    accepts = DatabaseEventSpec
+
+    def __init__(self, schema: Schema, sink: Optional[EventSink] = None,
+                 tracer: Optional[tracing.Tracer] = None,
+                 component: Optional[str] = None) -> None:
+        super().__init__(sink, tracer, component)
+        self._schema = schema
+
+    def observe(self, signal: EventSignal) -> List[DatabaseEventSpec]:
+        """Process one database operation; report per matching spec.
+
+        Returns the specs that matched (useful to callers that must know
+        whether the operation was relevant to any rule).  When a signal
+        matches several specs it is reported once per spec, each report
+        carrying its own spec tag (the Rule Manager maps specs to rules).
+        """
+        matched: List[DatabaseEventSpec] = []
+        for spec in list(self._registrations):
+            if matches_primitive(spec, signal, self._schema):
+                matched.append(spec)  # type: ignore[arg-type]
+        for i, spec in enumerate(matched):
+            # Each report needs an independent .spec tag; copy all but the
+            # last (cheap shallow copy — snapshots inside are never mutated).
+            report_signal = signal if i == len(matched) - 1 else copy.copy(signal)
+            self.report(spec, report_signal)
+        return matched

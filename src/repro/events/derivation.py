@@ -1,0 +1,61 @@
+"""Deriving an event specification from a condition (paper §2.1).
+
+"The event specification can also be omitted from a rule definition.  In
+this case, HiPAC derives the event specification from the condition."
+
+The derivation is conservative: the rule must be triggered by any operation
+that could change any of its condition queries' results.  For each query
+over class ``C`` with predicate attributes ``A``:
+
+* creating or deleting an instance of ``C`` (or a subclass) can change the
+  result;
+* updating an instance's attributes in ``A`` can change the result (all
+  updates, when the predicate reads no attributes but the query still
+  selects rows — e.g. projections).
+
+The derived spec is the disjunction of these database events (or the single
+event when only one is needed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import ConditionError
+from repro.events.spec import (
+    DatabaseEventSpec,
+    Disjunction,
+    EventSpec,
+    OP_CREATE,
+    OP_DELETE,
+    OP_UPDATE,
+)
+from repro.objstore.query import Query
+
+
+def derive_event_spec(queries: Iterable[Query]) -> EventSpec:
+    """Derive the triggering event for a rule from its condition queries."""
+    specs: List[DatabaseEventSpec] = []
+    seen = set()
+    for query in queries:
+        attrs = query.predicate.attributes() or None
+        candidates = (
+            DatabaseEventSpec(OP_CREATE, query.class_name,
+                              include_subclasses=query.include_subclasses),
+            DatabaseEventSpec(OP_DELETE, query.class_name,
+                              include_subclasses=query.include_subclasses),
+            DatabaseEventSpec(OP_UPDATE, query.class_name, attrs,
+                              include_subclasses=query.include_subclasses),
+        )
+        for spec in candidates:
+            if spec not in seen:
+                seen.add(spec)
+                specs.append(spec)
+    if not specs:
+        raise ConditionError(
+            "cannot derive an event from an empty condition; "
+            "specify the rule's event explicitly"
+        )
+    if len(specs) == 1:
+        return specs[0]
+    return Disjunction(*specs)

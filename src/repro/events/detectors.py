@@ -1,0 +1,142 @@
+"""Event-detector base machinery (paper §5.3).
+
+"Event Detectors are responsible for reporting the occurrence of primitive
+events to the Rule Manager. ... When a rule is created, the appropriate
+event detector(s) is (are) programmed to detect and report the primitive
+events that can trigger the rule."
+
+Every detector implements the paper's four-operation interface:
+
+* ``define_event(spec)`` — program the detector to report occurrences;
+* ``delete_event(spec)`` — cease detection (reference counted: several rules
+  may share one event);
+* ``disable_event(spec)`` / ``enable_event(spec)`` — suspend/resume
+  reporting without forgetting the programming (used by rule disable).
+
+Detectors report to a *sink* — ``sink(signal)`` — wired to
+``RuleManager.signal_event`` by the facade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core import tracing
+from repro.errors import EventError
+from repro.events.signal import EventSignal
+from repro.events.spec import EventSpec
+
+EventSink = Callable[[EventSignal], None]
+"""Destination of detected events (the Rule Manager's signal operation)."""
+
+
+class _Registration:
+    """Book-keeping for one programmed event spec."""
+
+    __slots__ = ("spec", "refcount", "enabled")
+
+    def __init__(self, spec: EventSpec) -> None:
+        self.spec = spec
+        self.refcount = 1
+        self.enabled = True
+
+
+class EventDetector:
+    """Base class implementing the define/delete/enable/disable protocol.
+
+    Subclasses add the actual detection (observing database operations,
+    clock time, or application signals) and call :meth:`report` for each
+    occurrence of a programmed, enabled spec.
+    """
+
+    #: subclasses set this to the EventSpec subclass they accept
+    accepts: type = EventSpec
+    component = tracing.EVENT_DETECTOR
+
+    def __init__(self, sink: Optional[EventSink] = None,
+                 tracer: Optional[tracing.Tracer] = None,
+                 component: Optional[str] = None) -> None:
+        self.sink = sink
+        if component is not None:
+            # The database detectors are embedded in the Object Manager and
+            # Transaction Manager (paper §5.3); their signals trace as calls
+            # from those components.
+            self.component = component
+        self._tracer = tracer or tracing.Tracer()
+        self._registrations: Dict[EventSpec, _Registration] = {}
+        self.stats = {"defined": 0, "reported": 0, "suppressed": 0}
+
+    # ------------------------------------------------- paper §5.3 interface
+
+    def define_event(self, spec: EventSpec) -> None:
+        """Program the detector to report occurrences of ``spec``."""
+        if not isinstance(spec, self.accepts):
+            raise EventError(
+                "%s cannot detect %r" % (type(self).__name__, spec)
+            )
+        registration = self._registrations.get(spec)
+        if registration is not None:
+            registration.refcount += 1
+            return
+        self._registrations[spec] = _Registration(spec)
+        self.stats["defined"] += 1
+        self._installed(spec)
+
+    def delete_event(self, spec: EventSpec) -> None:
+        """Cease detecting ``spec`` (when its reference count reaches zero)."""
+        registration = self._registrations.get(spec)
+        if registration is None:
+            raise EventError("event not defined on this detector: %r" % spec)
+        registration.refcount -= 1
+        if registration.refcount <= 0:
+            del self._registrations[spec]
+            self._removed(spec)
+
+    def disable_event(self, spec: EventSpec) -> None:
+        """Suspend detection and signalling of ``spec``."""
+        self._registration(spec).enabled = False
+
+    def enable_event(self, spec: EventSpec) -> None:
+        """Resume detection and signalling of ``spec``."""
+        self._registration(spec).enabled = True
+
+    def is_defined(self, spec: EventSpec) -> bool:
+        """True if ``spec`` is currently programmed."""
+        return spec in self._registrations
+
+    def is_enabled(self, spec: EventSpec) -> bool:
+        """True if ``spec`` is programmed and enabled."""
+        registration = self._registrations.get(spec)
+        return registration is not None and registration.enabled
+
+    # -------------------------------------------------------------- helpers
+
+    def _registration(self, spec: EventSpec) -> _Registration:
+        registration = self._registrations.get(spec)
+        if registration is None:
+            raise EventError("event not defined on this detector: %r" % spec)
+        return registration
+
+    def _installed(self, spec: EventSpec) -> None:
+        """Subclass hook: a new spec was programmed."""
+
+    def _removed(self, spec: EventSpec) -> None:
+        """Subclass hook: a spec's last reference was deleted."""
+
+    def report(self, spec: EventSpec, signal: EventSignal) -> None:
+        """Send ``signal`` (an occurrence of ``spec``) to the sink.
+
+        Suppressed when the spec is disabled or when no sink is wired.
+        """
+        registration = self._registrations.get(spec)
+        if registration is None or not registration.enabled:
+            self.stats["suppressed"] += 1
+            return
+        if self.sink is None:
+            self.stats["suppressed"] += 1
+            return
+        signal.spec = spec
+        self.stats["reported"] += 1
+        self._tracer.record(self.component, tracing.RULE_MANAGER,
+                            "signal_event", signal.describe())
+        self.sink(signal)

@@ -1,0 +1,306 @@
+"""Event specifications (paper §2.1).
+
+Rules are triggered by *events*.  A specification describes which
+occurrences trigger; a :class:`~repro.events.signal.EventSignal` reports one
+occurrence with its argument bindings.  The paper defines three primitive
+event classes and two composition operators:
+
+1. **Database operations** — data definition, data manipulation, transaction
+   control.  :class:`DatabaseEventSpec` scopes by operation kind, class
+   (optionally including subclasses), and, for updates, by the set of
+   attributes touched.
+2. **Temporal events** — :class:`TemporalEventSpec`: *absolute* (a point in
+   time), *relative* (a baseline event plus an offset), *periodic* (a
+   baseline plus a period).
+3. **External notifications** — :class:`ExternalEventSpec`: application
+   defined, with arbitrary formal parameters bound when the application
+   signals.
+
+Composites: :class:`Disjunction` (any constituent occurs) and
+:class:`Sequence` (constituents occur in order).  :class:`Conjunction`
+(all constituents occur, any order) is provided as an extension.
+
+Specs are immutable values with structural equality so that the Rule
+Manager can share detector programming between rules with the same event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.errors import EventError
+
+# Database operation kinds (shared vocabulary with store deltas).
+OP_CREATE = "create"
+OP_UPDATE = "update"
+OP_DELETE = "delete"
+OP_DEFINE_CLASS = "define-class"
+OP_DROP_CLASS = "drop-class"
+OP_BEGIN = "begin"
+OP_COMMIT = "commit"
+OP_ABORT = "abort"
+OP_READ = "read"
+OP_QUERY = "query"
+
+DML_OPS = frozenset({OP_CREATE, OP_UPDATE, OP_DELETE})
+DDL_OPS = frozenset({OP_DEFINE_CLASS, OP_DROP_CLASS})
+TXN_OPS = frozenset({OP_BEGIN, OP_COMMIT, OP_ABORT})
+#: retrieval events (extension): reading one object / running a query.
+#: Detection is opt-in per spec, exactly like other database events, and
+#: the system's own internal reads (rule-object locks, condition
+#: evaluation) never signal them.
+RETRIEVAL_OPS = frozenset({OP_READ, OP_QUERY})
+ALL_OPS = DML_OPS | DDL_OPS | TXN_OPS | RETRIEVAL_OPS
+
+
+class EventSpec:
+    """Base class of event specifications."""
+
+    def key(self) -> Tuple:
+        """Structural identity key."""
+        raise NotImplementedError
+
+    def primitives(self) -> Tuple["EventSpec", ...]:
+        """Return the primitive specs this spec is built from (self if
+        primitive)."""
+        return (self,)
+
+    def is_composite(self) -> bool:
+        """True for Disjunction/Sequence/Conjunction."""
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, EventSpec) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+@dataclass(frozen=True)
+class DatabaseEventSpec(EventSpec):
+    """A database-operation event.
+
+    ``op`` is one of the operation kinds above; ``class_name`` restricts the
+    event to one class (None = any class); ``attrs`` further restricts an
+    update event to touches of the given attributes; ``include_subclasses``
+    extends a class-scoped event to instances of subclasses.
+    """
+
+    op: str
+    class_name: Optional[str] = None
+    attrs: Optional[FrozenSet[str]] = None
+    include_subclasses: bool = True
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPS:
+            raise EventError("unknown database operation kind: %r" % self.op)
+        if self.attrs is not None:
+            if self.op != OP_UPDATE:
+                raise EventError(
+                    "attribute scoping is only meaningful for update events"
+                )
+            object.__setattr__(self, "attrs", frozenset(self.attrs))
+        if self.op in TXN_OPS and self.class_name is not None:
+            raise EventError("transaction events cannot be class-scoped")
+
+    def key(self) -> Tuple:
+        return ("db", self.op, self.class_name, self.attrs, self.include_subclasses)
+
+    def __repr__(self) -> str:
+        scope = self.class_name or "*"
+        if self.attrs:
+            scope += "(%s)" % ",".join(sorted(self.attrs))
+        return "DatabaseEventSpec(%s %s)" % (self.op, scope)
+
+
+def on_create(class_name: Optional[str] = None, *, include_subclasses: bool = True) -> DatabaseEventSpec:
+    """Event: an instance of ``class_name`` (default: any class) is created."""
+    return DatabaseEventSpec(OP_CREATE, class_name, include_subclasses=include_subclasses)
+
+
+def on_update(class_name: Optional[str] = None,
+              attrs: Optional[Iterable[str]] = None, *,
+              include_subclasses: bool = True) -> DatabaseEventSpec:
+    """Event: an instance is updated (optionally: specific attributes)."""
+    frozen = frozenset(attrs) if attrs is not None else None
+    return DatabaseEventSpec(OP_UPDATE, class_name, frozen,
+                             include_subclasses=include_subclasses)
+
+
+def on_delete(class_name: Optional[str] = None, *, include_subclasses: bool = True) -> DatabaseEventSpec:
+    """Event: an instance of ``class_name`` is deleted."""
+    return DatabaseEventSpec(OP_DELETE, class_name, include_subclasses=include_subclasses)
+
+
+def on_commit() -> DatabaseEventSpec:
+    """Event: a transaction commits."""
+    return DatabaseEventSpec(OP_COMMIT)
+
+
+def on_read(class_name: Optional[str] = None, *,
+            include_subclasses: bool = True) -> DatabaseEventSpec:
+    """Event (extension): an instance of ``class_name`` is read."""
+    return DatabaseEventSpec(OP_READ, class_name,
+                             include_subclasses=include_subclasses)
+
+
+def on_query(class_name: Optional[str] = None, *,
+             include_subclasses: bool = True) -> DatabaseEventSpec:
+    """Event (extension): a query ranges over ``class_name``'s extent."""
+    return DatabaseEventSpec(OP_QUERY, class_name,
+                             include_subclasses=include_subclasses)
+
+
+def on_abort() -> DatabaseEventSpec:
+    """Event: a transaction aborts."""
+    return DatabaseEventSpec(OP_ABORT)
+
+
+@dataclass(frozen=True)
+class TemporalEventSpec(EventSpec):
+    """A temporal event.
+
+    * absolute — ``kind="absolute"``, ``at`` is the absolute time;
+    * relative — ``kind="relative"``, ``baseline`` is another event spec and
+      ``offset`` the delay after each baseline occurrence;
+    * periodic — ``kind="periodic"``, ``period`` seconds between
+      occurrences, starting ``offset`` after the baseline (or after
+      definition when ``baseline`` is None).
+
+    ``info`` is the paper's "optional descriptive information", included in
+    every signal.
+    """
+
+    kind: str
+    at: Optional[float] = None
+    baseline: Optional[EventSpec] = None
+    offset: float = 0.0
+    period: Optional[float] = None
+    info: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "absolute":
+            if self.at is None:
+                raise EventError("absolute temporal event requires 'at'")
+        elif self.kind == "relative":
+            if self.baseline is None:
+                raise EventError("relative temporal event requires a baseline")
+            if self.offset < 0:
+                raise EventError("relative offset must be non-negative")
+        elif self.kind == "periodic":
+            if self.period is None or self.period <= 0:
+                raise EventError("periodic temporal event requires period > 0")
+        else:
+            raise EventError("unknown temporal event kind: %r" % self.kind)
+
+    def key(self) -> Tuple:
+        baseline_key = self.baseline.key() if self.baseline is not None else None
+        return ("temporal", self.kind, self.at, baseline_key, self.offset,
+                self.period, self.info)
+
+    def __repr__(self) -> str:
+        if self.kind == "absolute":
+            return "TemporalEventSpec(at %s)" % self.at
+        if self.kind == "relative":
+            return "TemporalEventSpec(%r + %ss)" % (self.baseline, self.offset)
+        return "TemporalEventSpec(every %ss)" % self.period
+
+
+def at_time(when: float, info: Optional[str] = None) -> TemporalEventSpec:
+    """Absolute temporal event at time ``when``."""
+    return TemporalEventSpec("absolute", at=when, info=info)
+
+
+def after(baseline: EventSpec, offset: float, info: Optional[str] = None) -> TemporalEventSpec:
+    """Relative temporal event: ``offset`` seconds after each ``baseline``."""
+    return TemporalEventSpec("relative", baseline=baseline, offset=offset, info=info)
+
+
+def every(period: float, baseline: Optional[EventSpec] = None,
+          offset: float = 0.0, info: Optional[str] = None) -> TemporalEventSpec:
+    """Periodic temporal event with the given ``period``."""
+    return TemporalEventSpec("periodic", baseline=baseline, offset=offset,
+                             period=period, info=info)
+
+
+@dataclass(frozen=True)
+class ExternalEventSpec(EventSpec):
+    """An application-defined event with named formal parameters.
+
+    The application must first *define* the event (register the spec with
+    the external detector), then *signal* it with actual arguments matching
+    ``parameters``.
+    """
+
+    name: str
+    parameters: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise EventError("external event requires a name")
+        object.__setattr__(self, "parameters", tuple(self.parameters))
+
+    def key(self) -> Tuple:
+        return ("external", self.name, self.parameters)
+
+    def __repr__(self) -> str:
+        return "ExternalEventSpec(%s%r)" % (self.name, list(self.parameters))
+
+
+def external(name: str, *parameters: str) -> ExternalEventSpec:
+    """Convenience constructor for application-defined events."""
+    return ExternalEventSpec(name, tuple(parameters))
+
+
+class CompositeEventSpec(EventSpec):
+    """Base of composite specifications (a tuple of member specs)."""
+
+    members: Tuple[EventSpec, ...]
+
+    def __init__(self, *members: EventSpec) -> None:
+        if len(members) < 2:
+            raise EventError("composite events require at least two members")
+        for member in members:
+            if not isinstance(member, EventSpec):
+                raise EventError("composite members must be EventSpec instances")
+        self.members = tuple(members)
+
+    def primitives(self) -> Tuple[EventSpec, ...]:
+        result: Tuple[EventSpec, ...] = ()
+        for member in self.members:
+            result += member.primitives()
+        return result
+
+    def is_composite(self) -> bool:
+        return True
+
+
+class Disjunction(CompositeEventSpec):
+    """Occurs when any member occurs."""
+
+    def key(self) -> Tuple:
+        return ("or",) + tuple(sorted((member.key() for member in self.members), key=repr))
+
+    def __repr__(self) -> str:
+        return "Disjunction(%s)" % ", ".join(repr(member) for member in self.members)
+
+
+class Sequence(CompositeEventSpec):
+    """Occurs when the members occur in order (each occurrence consumed)."""
+
+    def key(self) -> Tuple:
+        return ("seq",) + tuple(member.key() for member in self.members)
+
+    def __repr__(self) -> str:
+        return "Sequence(%s)" % ", ".join(repr(member) for member in self.members)
+
+
+class Conjunction(CompositeEventSpec):
+    """Extension: occurs when all members have occurred, in any order."""
+
+    def key(self) -> Tuple:
+        return ("and",) + tuple(sorted((member.key() for member in self.members), key=repr))
+
+    def __repr__(self) -> str:
+        return "Conjunction(%s)" % ", ".join(repr(member) for member in self.members)

@@ -1,0 +1,78 @@
+"""The object store: HiPAC's object-oriented data management substrate.
+
+Public surface:
+
+* schema — :class:`AttributeDef`, :class:`ClassDef`, :class:`AttrType`,
+  :func:`attributes`;
+* instances — :class:`OID`;
+* queries — :class:`Query`, :class:`QueryResult`, :class:`Row`, and the
+  predicate algebra (:class:`Attr`, :class:`EventArg`, :class:`Const`,
+  :class:`Compare`, :class:`And`, :class:`Or`, :class:`Not`, :data:`TRUE`);
+* the physical store and executor (normally reached through the
+  :class:`~repro.objstore.manager.ObjectManager`).
+"""
+
+from repro.objstore.types import AttrType, AttributeDef, ClassDef, Schema, attributes
+from repro.objstore.objects import OID, ObjectRecord
+from repro.objstore.predicates import (
+    TRUE,
+    And,
+    Attr,
+    Compare,
+    Const,
+    EventArg,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.objstore.joins import OID_ATTR, JoinQuery, JoinResult, JoinRow
+from repro.objstore.query import Query, QueryResult, Row
+from repro.objstore.store import Delta, ObjectStore
+from repro.objstore.executor import Plan, QueryExecutor
+# NOTE: ObjectManager is intentionally NOT imported here — it depends on the
+# events package, which depends back on this package's storage modules.
+# Import it from repro (the top-level package) or repro.objstore.manager.
+from repro.objstore.operations import (
+    CreateObject,
+    DefineClass,
+    DeleteObject,
+    DropClass,
+    Operation,
+    UpdateObject,
+)
+
+__all__ = [
+    "AttrType",
+    "AttributeDef",
+    "ClassDef",
+    "Schema",
+    "attributes",
+    "OID",
+    "ObjectRecord",
+    "TRUE",
+    "And",
+    "Attr",
+    "Compare",
+    "Const",
+    "EventArg",
+    "Not",
+    "Or",
+    "Predicate",
+    "Query",
+    "QueryResult",
+    "Row",
+    "JoinQuery",
+    "JoinResult",
+    "JoinRow",
+    "OID_ATTR",
+    "Delta",
+    "ObjectStore",
+    "Plan",
+    "QueryExecutor",
+    "Operation",
+    "DefineClass",
+    "DropClass",
+    "CreateObject",
+    "UpdateObject",
+    "DeleteObject",
+]

@@ -1,0 +1,54 @@
+"""Object identity and instance records for the object store.
+
+Instances are identified by :class:`OID` values — immutable, hashable
+handles carrying the class the instance was created in.  The store keeps one
+mutable :class:`ObjectRecord` per live instance; application code never
+mutates records directly (all writes go through operations so that locking,
+undo, event signalling, and condition-graph maintenance stay consistent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """An object identifier: ``(class_name, number)``.
+
+    OIDs are allocated densely per store and never reused; the class name is
+    the *creation* class (instances also belong to the extents of all
+    superclasses).
+    """
+
+    class_name: str
+    number: int
+
+    def __str__(self) -> str:
+        return "%s#%d" % (self.class_name, self.number)
+
+
+class ObjectRecord:
+    """The store's record of one live instance: its OID and attribute values.
+
+    ``snapshot()`` copies the attribute dict; undo logging and event signals
+    use snapshots so later mutations cannot corrupt history.
+    """
+
+    __slots__ = ("oid", "attrs")
+
+    def __init__(self, oid: OID, attrs: Dict[str, Any]) -> None:
+        self.oid = oid
+        self.attrs = attrs
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return attribute ``name`` or ``default``."""
+        return self.attrs.get(name, default)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Return a shallow copy of the attribute values."""
+        return dict(self.attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ObjectRecord(%s, %r)" % (self.oid, self.attrs)

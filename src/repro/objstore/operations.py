@@ -1,0 +1,87 @@
+"""Database operation descriptors.
+
+The paper's Object Manager interface is a single entry point: "Execute
+Operation — execute a database operation (DDL or DML) on one or more
+database objects.  The parameters are the database objects and the
+transaction in which to perform the operation."  These descriptor classes
+are that parameterization: each names the operation kind and its arguments,
+and the :class:`~repro.objstore.manager.ObjectManager` executes them.
+
+Rule actions are sequences of such descriptors (plus application requests),
+which is what makes actions data rather than code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.objstore.objects import OID
+from repro.objstore.types import ClassDef
+
+
+class Operation:
+    """Base class of database operation descriptors."""
+
+    kind: str = "?"
+
+    def describe(self) -> str:
+        """One-line description for traces."""
+        return self.kind
+
+
+@dataclass
+class DefineClass(Operation):
+    """DDL: define a new object class."""
+
+    class_def: ClassDef
+    kind: str = field(default="define-class", init=False)
+
+    def describe(self) -> str:
+        return "define-class %s" % self.class_def.name
+
+
+@dataclass
+class DropClass(Operation):
+    """DDL: drop an existing (empty) class."""
+
+    class_name: str
+    kind: str = field(default="drop-class", init=False)
+
+    def describe(self) -> str:
+        return "drop-class %s" % self.class_name
+
+
+@dataclass
+class CreateObject(Operation):
+    """DML: create an instance of ``class_name`` with the given attributes."""
+
+    class_name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    kind: str = field(default="create", init=False)
+
+    def describe(self) -> str:
+        return "create %s" % self.class_name
+
+
+@dataclass
+class UpdateObject(Operation):
+    """DML: set attributes of the instance identified by ``oid``."""
+
+    oid: OID
+    changes: Dict[str, Any] = field(default_factory=dict)
+    kind: str = field(default="update", init=False)
+
+    def describe(self) -> str:
+        return "update %s" % self.oid
+
+
+@dataclass
+class DeleteObject(Operation):
+    """DML: delete the instance identified by ``oid``."""
+
+    oid: OID
+    kind: str = field(default="delete", init=False)
+
+    def describe(self) -> str:
+        return "delete %s" % self.oid

@@ -1,0 +1,400 @@
+"""Predicate AST for the object-oriented DML.
+
+Conditions in HiPAC are collections of queries; the Condition Evaluator
+shares work between rules whose queries are structurally identical (the
+paper's "multiple query optimization").  Predicates here are therefore
+immutable values with *structural* equality/hash (``canonical_key``) so that
+two independently constructed but identical predicates land on the same
+condition-graph node.
+
+Value expressions (the leaves):
+
+* :class:`Const` — a literal;
+* :class:`Attr` — an attribute of the candidate object;
+* :class:`EventArg` — a named argument from the triggering event's signal
+  (the paper: "the queries may refer to arguments in the event signal").
+
+Predicates compose with :class:`Compare`, :class:`And`, :class:`Or`,
+:class:`Not`, and the constant :data:`TRUE`.  :class:`Attr` supports the
+comparison-operator sugar ``Attr("price") > 50``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.util.canonical import freeze
+
+Bindings = Mapping[str, Any]
+"""Event-argument bindings: name -> value from the event signal."""
+
+_OPERATORS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _safe_compare(op: str, left: Any, right: Any) -> bool:
+    """Compare two values, treating incomparable pairs as not matching."""
+    if left is None or right is None:
+        if op == "==":
+            return left is None and right is None
+        if op == "!=":
+            return not (left is None and right is None)
+        return False
+    try:
+        return bool(_OPERATORS[op](left, right))
+    except TypeError:
+        return False
+
+
+class ValueExpr:
+    """Base class of value expressions (predicate leaves)."""
+
+    def evaluate(self, attrs: Mapping[str, Any], bindings: Bindings) -> Any:
+        """Return this expression's value for a candidate object."""
+        raise NotImplementedError
+
+    def canonical_key(self) -> Tuple:
+        """Return a hashable structural key."""
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """Return the object attributes this expression reads."""
+        return frozenset()
+
+    def event_args(self) -> FrozenSet[str]:
+        """Return the event-argument names this expression reads."""
+        return frozenset()
+
+    # Comparison sugar: ``Attr("price") > 50`` builds a Compare when the
+    # other side is a plain Python value.  Between two ValueExpr instances,
+    # == / != compare *structure* and return bool (so expressions are safe
+    # as dict keys); use ``Compare(a, "==", b)`` explicitly to build an
+    # expression-to-expression comparison such as new price == limit.
+    def __eq__(self, other: Any):  # type: ignore[override]
+        if isinstance(other, ValueExpr):
+            return self.canonical_key() == other.canonical_key()
+        return Compare(self, "==", _as_expr(other))
+
+    def __ne__(self, other: Any):  # type: ignore[override]
+        if isinstance(other, ValueExpr):
+            return self.canonical_key() != other.canonical_key()
+        return Compare(self, "!=", _as_expr(other))
+
+    def __lt__(self, other: Any) -> "Compare":
+        return Compare(self, "<", _as_expr(other))
+
+    def __le__(self, other: Any) -> "Compare":
+        return Compare(self, "<=", _as_expr(other))
+
+    def __gt__(self, other: Any) -> "Compare":
+        return Compare(self, ">", _as_expr(other))
+
+    def __ge__(self, other: Any) -> "Compare":
+        return Compare(self, ">=", _as_expr(other))
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    def is_in(self, values: Iterable[Any]) -> "Compare":
+        """Membership test: value ∈ ``values``."""
+        return Compare(self, "in", Const(tuple(values)))
+
+
+def _as_expr(value: Any) -> ValueExpr:
+    """Coerce a Python value into a :class:`ValueExpr` (literals -> Const)."""
+    if isinstance(value, ValueExpr):
+        return value
+    return Const(value)
+
+
+class Const(ValueExpr):
+    """A literal constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, attrs: Mapping[str, Any], bindings: Bindings) -> Any:
+        return self.value
+
+    def canonical_key(self) -> Tuple:
+        return ("const", freeze(self.value))
+
+    def __repr__(self) -> str:
+        return "Const(%r)" % (self.value,)
+
+
+class Attr(ValueExpr):
+    """An attribute of the candidate object being tested."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise QueryError("attribute name must be a non-empty string")
+        self.name = name
+
+    def evaluate(self, attrs: Mapping[str, Any], bindings: Bindings) -> Any:
+        return attrs.get(self.name)
+
+    def canonical_key(self) -> Tuple:
+        return ("attr", self.name)
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return "Attr(%r)" % self.name
+
+
+class EventArg(ValueExpr):
+    """A named argument bound in the triggering event's signal.
+
+    Evaluating an :class:`EventArg` without a binding raises
+    :class:`QueryError`; a rule whose condition references event arguments can
+    only be evaluated in response to a signal that binds them.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise QueryError("event argument name must be a non-empty string")
+        self.name = name
+
+    def evaluate(self, attrs: Mapping[str, Any], bindings: Bindings) -> Any:
+        if self.name not in bindings:
+            raise QueryError("unbound event argument %r" % self.name)
+        return bindings[self.name]
+
+    def canonical_key(self) -> Tuple:
+        return ("event-arg", self.name)
+
+    def event_args(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return "EventArg(%r)" % self.name
+
+
+class Predicate:
+    """Base class of boolean predicates over a candidate object."""
+
+    def matches(self, attrs: Mapping[str, Any], bindings: Bindings = ()) -> bool:
+        """Return True if the candidate object satisfies this predicate."""
+        raise NotImplementedError
+
+    def canonical_key(self) -> Tuple:
+        """Return a hashable structural key (used for condition-graph sharing)."""
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """Return all object attributes the predicate reads."""
+        raise NotImplementedError
+
+    def event_args(self) -> FrozenSet[str]:
+        """Return all event-argument names the predicate reads."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Predicate) and self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+
+class TruePredicate(Predicate):
+    """The always-true predicate (a condition of ``Condition: true``)."""
+
+    def matches(self, attrs: Mapping[str, Any], bindings: Bindings = ()) -> bool:
+        return True
+
+    def canonical_key(self) -> Tuple:
+        return ("true",)
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def event_args(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+TRUE = TruePredicate()
+
+
+class Compare(Predicate):
+    """A comparison between two value expressions.
+
+    Supported operators: ``== != < <= > >= in contains``.  ``in`` tests
+    membership of the left value in the right value; ``contains`` is the
+    reverse.
+    """
+
+    __slots__ = ("left", "op", "right")
+
+    _VALID_OPS = frozenset(_OPERATORS) | {"in", "contains"}
+
+    def __init__(self, left: Any, op: str, right: Any) -> None:
+        if op not in self._VALID_OPS:
+            raise QueryError("unsupported comparison operator: %r" % op)
+        self.left = _as_expr(left)
+        self.op = op
+        self.right = _as_expr(right)
+
+    def matches(self, attrs: Mapping[str, Any], bindings: Bindings = ()) -> bool:
+        left = self.left.evaluate(attrs, bindings)
+        right = self.right.evaluate(attrs, bindings)
+        if self.op == "in":
+            try:
+                return left in right
+            except TypeError:
+                return False
+        if self.op == "contains":
+            try:
+                return right in left
+            except TypeError:
+                return False
+        return _safe_compare(self.op, left, right)
+
+    def canonical_key(self) -> Tuple:
+        return ("compare", self.left.canonical_key(), self.op, self.right.canonical_key())
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def event_args(self) -> FrozenSet[str]:
+        return self.left.event_args() | self.right.event_args()
+
+    def __repr__(self) -> str:
+        return "Compare(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class And(Predicate):
+    """Conjunction of two or more predicates (canonicalized by sorting)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Predicate) -> None:
+        if len(parts) < 2:
+            raise QueryError("And requires at least two predicates")
+        self.parts = tuple(parts)
+
+    def matches(self, attrs: Mapping[str, Any], bindings: Bindings = ()) -> bool:
+        return all(part.matches(attrs, bindings) for part in self.parts)
+
+    def canonical_key(self) -> Tuple:
+        keys = sorted(part.canonical_key() for part in self.parts)
+        return ("and", tuple(keys))
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset().union(*(part.attributes() for part in self.parts))
+
+    def event_args(self) -> FrozenSet[str]:
+        return frozenset().union(*(part.event_args() for part in self.parts))
+
+    def __repr__(self) -> str:
+        return "And(%s)" % ", ".join(repr(part) for part in self.parts)
+
+
+class Or(Predicate):
+    """Disjunction of two or more predicates (canonicalized by sorting)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Predicate) -> None:
+        if len(parts) < 2:
+            raise QueryError("Or requires at least two predicates")
+        self.parts = tuple(parts)
+
+    def matches(self, attrs: Mapping[str, Any], bindings: Bindings = ()) -> bool:
+        return any(part.matches(attrs, bindings) for part in self.parts)
+
+    def canonical_key(self) -> Tuple:
+        keys = sorted(part.canonical_key() for part in self.parts)
+        return ("or", tuple(keys))
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset().union(*(part.attributes() for part in self.parts))
+
+    def event_args(self) -> FrozenSet[str]:
+        return frozenset().union(*(part.event_args() for part in self.parts))
+
+    def __repr__(self) -> str:
+        return "Or(%s)" % ", ".join(repr(part) for part in self.parts)
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: Predicate) -> None:
+        self.part = part
+
+    def matches(self, attrs: Mapping[str, Any], bindings: Bindings = ()) -> bool:
+        return not self.part.matches(attrs, bindings)
+
+    def canonical_key(self) -> Tuple:
+        return ("not", self.part.canonical_key())
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.part.attributes()
+
+    def event_args(self) -> FrozenSet[str]:
+        return self.part.event_args()
+
+    def __repr__(self) -> str:
+        return "Not(%r)" % self.part
+
+
+def conjuncts(predicate: Predicate) -> Tuple[Predicate, ...]:
+    """Flatten a predicate into its top-level conjuncts.
+
+    Used by the query planner to find indexable ``Attr == Const`` /
+    ``Attr == EventArg`` equality conjuncts.
+    """
+    if isinstance(predicate, And):
+        result: Tuple[Predicate, ...] = ()
+        for part in predicate.parts:
+            result += conjuncts(part)
+        return result
+    return (predicate,)
+
+
+def equality_lookups(predicate: Predicate) -> Dict[str, ValueExpr]:
+    """Return ``attr -> value expression`` for indexable equality conjuncts.
+
+    A conjunct is indexable when it has the shape ``Attr(a) == expr`` or
+    ``expr == Attr(a)`` where ``expr`` contains no object attributes.
+    """
+    lookups: Dict[str, ValueExpr] = {}
+    for part in conjuncts(predicate):
+        if not isinstance(part, Compare) or part.op != "==":
+            continue
+        left, right = part.left, part.right
+        if isinstance(left, Attr) and not right.attributes():
+            lookups.setdefault(left.name, right)
+        elif isinstance(right, Attr) and not left.attributes():
+            lookups.setdefault(right.name, left)
+    return lookups

@@ -1,0 +1,256 @@
+"""Schema layer of the Object Manager: attribute types and class definitions.
+
+HiPAC uses an object-oriented data model.  The paper deliberately leaves the
+model's details open ("the details of which are unimportant for this paper"),
+so this reproduction implements a compact but complete one:
+
+* classes (types) with typed attributes and single inheritance;
+* every class has an *extent* — the set of its instances — which queries
+  range over (including instances of subclasses);
+* instances are identified by OIDs and carry attribute values.
+
+Type checking is structural and permissive by design: ``ANY`` admits every
+value, and optional attributes admit ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SchemaError
+
+
+class AttrType:
+    """Enumeration of attribute types supported by the data model."""
+
+    ANY = "any"
+    INT = "int"
+    FLOAT = "float"
+    NUMBER = "number"
+    STRING = "string"
+    BOOL = "bool"
+    OID = "oid"
+    LIST = "list"
+    MAP = "map"
+
+    ALL = frozenset({ANY, INT, FLOAT, NUMBER, STRING, BOOL, OID, LIST, MAP})
+
+
+def check_type(attr_type: str, value: Any) -> bool:
+    """Return True if ``value`` conforms to ``attr_type``.
+
+    ``bool`` is deliberately excluded from the numeric types (Python's bool
+    subclasses int, which would otherwise let ``True`` into INT columns).
+    """
+    if attr_type == AttrType.ANY:
+        return True
+    if attr_type == AttrType.INT:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if attr_type == AttrType.FLOAT:
+        return isinstance(value, float)
+    if attr_type == AttrType.NUMBER:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if attr_type == AttrType.STRING:
+        return isinstance(value, str)
+    if attr_type == AttrType.BOOL:
+        return isinstance(value, bool)
+    if attr_type == AttrType.OID:
+        from repro.objstore.objects import OID
+
+        return isinstance(value, OID)
+    if attr_type == AttrType.LIST:
+        return isinstance(value, (list, tuple))
+    if attr_type == AttrType.MAP:
+        return isinstance(value, dict)
+    raise SchemaError("unknown attribute type: %r" % attr_type)
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """Definition of one attribute of a class.
+
+    ``required`` attributes must be supplied at instance creation;
+    non-required attributes default to ``default`` (which may be ``None``).
+    ``indexed`` asks the store to maintain a hash index over the attribute.
+    """
+
+    name: str
+    attr_type: str = AttrType.ANY
+    required: bool = False
+    default: Any = None
+    indexed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("attribute name must be a non-empty string")
+        if self.name.startswith("_"):
+            raise SchemaError(
+                "attribute names starting with '_' are reserved: %r" % self.name
+            )
+        if self.attr_type not in AttrType.ALL:
+            raise SchemaError("unknown attribute type: %r" % self.attr_type)
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` unless ``value`` is legal for this attribute."""
+        if value is None:
+            if self.required:
+                raise SchemaError("attribute %r is required" % self.name)
+            return
+        if not check_type(self.attr_type, value):
+            raise SchemaError(
+                "attribute %r expects %s, got %r" % (self.name, self.attr_type, value)
+            )
+
+
+@dataclass
+class ClassDef:
+    """Definition of an object class (type).
+
+    Attributes are inherited from ``superclass`` (single inheritance); a
+    subclass may not redefine an inherited attribute.  The resolved attribute
+    map (own + inherited) is computed by the schema when the class is
+    registered.
+    """
+
+    name: str
+    attributes: Tuple[AttributeDef, ...] = ()
+    superclass: Optional[str] = None
+
+    # Resolved by Schema.define_class:
+    all_attributes: Dict[str, AttributeDef] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("class name must be a non-empty string")
+        self.attributes = tuple(self.attributes)
+        seen = set()
+        for attr in self.attributes:
+            if not isinstance(attr, AttributeDef):
+                raise SchemaError("attributes must be AttributeDef instances")
+            if attr.name in seen:
+                raise SchemaError(
+                    "duplicate attribute %r in class %r" % (attr.name, self.name)
+                )
+            seen.add(attr.name)
+
+    def attribute(self, name: str) -> AttributeDef:
+        """Return the (possibly inherited) attribute definition for ``name``."""
+        try:
+            return self.all_attributes[name]
+        except KeyError:
+            raise SchemaError(
+                "class %r has no attribute %r" % (self.name, name)
+            ) from None
+
+
+def attributes(*specs: Any) -> List[AttributeDef]:
+    """Convenience constructor for attribute lists.
+
+    Each spec may be a plain name (``"price"``), a ``(name, type)`` pair, or
+    an :class:`AttributeDef`.
+    """
+    result: List[AttributeDef] = []
+    for spec in specs:
+        if isinstance(spec, AttributeDef):
+            result.append(spec)
+        elif isinstance(spec, str):
+            result.append(AttributeDef(spec))
+        elif isinstance(spec, tuple) and len(spec) == 2:
+            result.append(AttributeDef(spec[0], spec[1]))
+        else:
+            raise SchemaError("bad attribute spec: %r" % (spec,))
+    return result
+
+
+class Schema:
+    """The catalog of class definitions, with inheritance resolution.
+
+    The schema itself is versioned by the store (DDL runs under transactions
+    like any other operation); :class:`Schema` only validates and resolves.
+    """
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, ClassDef] = {}
+
+    def define_class(self, class_def: ClassDef) -> ClassDef:
+        """Register ``class_def``, resolving inherited attributes.
+
+        Raises :class:`SchemaError` on duplicate names, unknown superclass,
+        or attribute clashes with inherited attributes.
+        """
+        if class_def.name in self._classes:
+            raise SchemaError("class %r is already defined" % class_def.name)
+        resolved: Dict[str, AttributeDef] = {}
+        if class_def.superclass is not None:
+            parent = self.get(class_def.superclass)
+            resolved.update(parent.all_attributes)
+        for attr in class_def.attributes:
+            if attr.name in resolved:
+                raise SchemaError(
+                    "class %r redefines inherited attribute %r"
+                    % (class_def.name, attr.name)
+                )
+            resolved[attr.name] = attr
+        class_def.all_attributes = resolved
+        self._classes[class_def.name] = class_def
+        return class_def
+
+    def drop_class(self, name: str) -> ClassDef:
+        """Remove a class definition.  Fails if any class inherits from it."""
+        class_def = self.get(name)
+        for other in self._classes.values():
+            if other.superclass == name:
+                raise SchemaError(
+                    "cannot drop class %r: class %r inherits from it"
+                    % (name, other.name)
+                )
+        del self._classes[name]
+        return class_def
+
+    def restore_class(self, class_def: ClassDef) -> None:
+        """Re-register a previously resolved class (transaction undo path)."""
+        self._classes[class_def.name] = class_def
+
+    def unregister_class(self, name: str) -> None:
+        """Remove a class without dependency checks (transaction undo path)."""
+        self._classes.pop(name, None)
+
+    def has(self, name: str) -> bool:
+        """Return True if class ``name`` is defined."""
+        return name in self._classes
+
+    def get(self, name: str) -> ClassDef:
+        """Return the definition of class ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SchemaError("unknown class: %r" % name) from None
+
+    def class_names(self) -> List[str]:
+        """Return all defined class names, sorted."""
+        return sorted(self._classes)
+
+    def subclasses(self, name: str) -> List[str]:
+        """Return ``name`` plus every (transitive) subclass, in definition order."""
+        self.get(name)
+        result = [name]
+        frontier = {name}
+        changed = True
+        while changed:
+            changed = False
+            for other in self._classes.values():
+                if other.superclass in frontier and other.name not in frontier:
+                    frontier.add(other.name)
+                    result.append(other.name)
+                    changed = True
+        return result
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:
+        """Return True if ``name`` equals or transitively inherits ``ancestor``."""
+        current: Optional[str] = name
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self.get(current).superclass
+        return False

@@ -1,0 +1,42 @@
+"""Coupling modes (paper §2.1, §3.2).
+
+The E-C coupling relates condition evaluation to the transaction in which
+the triggering event was signalled; the C-A coupling relates action
+execution to the transaction in which the condition was evaluated.  Three
+modes for each:
+
+* **immediate** — evaluate/execute at once, in a subtransaction, preempting
+  the remaining steps of the enclosing transaction;
+* **deferred** — in the same transaction, but just prior to its commit;
+* **separate** — in a concurrently executing top-level transaction.
+
+All nine E-C x C-A combinations are legal in the paper's model.  As an
+extension (from the HiPAC knowledge model's discussion of causal
+dependencies), separate firings may be declared *causally dependent*, in
+which case they are launched only if the triggering transaction commits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuleError
+
+IMMEDIATE = "immediate"
+DEFERRED = "deferred"
+SEPARATE = "separate"
+
+MODES = (IMMEDIATE, DEFERRED, SEPARATE)
+
+
+def validate_mode(mode: str, which: str) -> str:
+    """Validate a coupling-mode string; returns it for chaining."""
+    if mode not in MODES:
+        raise RuleError(
+            "invalid %s coupling mode %r (expected one of %s)"
+            % (which, mode, ", ".join(MODES))
+        )
+    return mode
+
+
+def all_combinations():
+    """All nine (E-C, C-A) coupling pairs — used by tests and benchmarks."""
+    return [(ec, ca) for ec in MODES for ca in MODES]

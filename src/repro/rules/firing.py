@@ -1,0 +1,80 @@
+"""Rule-firing records.
+
+The execution model's observable output is the *shape* of the transaction
+trees rule firings build ("cascading rule firings produce a tree of nested
+transactions", §3.2).  The Rule Manager records one :class:`RuleFiring` per
+fired rule so tests and the Section 6 experiments can assert that shape:
+which transaction evaluated the condition, which executed the action, how
+they nest under the triggering transaction, and whether the condition was
+satisfied.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class RuleFiring:
+    """One rule firing and the transactions it used."""
+
+    rule_name: str
+    event: str
+    ec_coupling: str
+    ca_coupling: str
+    triggering_txn: Optional[str] = None
+    condition_txn: Optional[str] = None
+    action_txn: Optional[str] = None
+    satisfied: Optional[bool] = None
+    executed: bool = False
+    deferred: bool = False
+    separate_thread: bool = False
+    error: Optional[str] = None
+
+
+class FiringLog:
+    """Thread-safe, bounded log of rule firings."""
+
+    def __init__(self, capacity: int = 100000) -> None:
+        self._mutex = threading.Lock()
+        self._records: List[RuleFiring] = []
+        self.capacity = capacity
+
+    def append(self, record: RuleFiring) -> RuleFiring:
+        """Record one firing (drops oldest beyond capacity)."""
+        with self._mutex:
+            self._records.append(record)
+            if len(self._records) > self.capacity:
+                del self._records[: len(self._records) - self.capacity]
+        return record
+
+    def all(self) -> List[RuleFiring]:
+        """All recorded firings, oldest first."""
+        with self._mutex:
+            return list(self._records)
+
+    def for_rule(self, rule_name: str) -> List[RuleFiring]:
+        """Firings of one rule."""
+        with self._mutex:
+            return [r for r in self._records if r.rule_name == rule_name]
+
+    def satisfied_count(self) -> int:
+        """Number of firings whose condition held."""
+        with self._mutex:
+            return sum(1 for r in self._records if r.satisfied)
+
+    def executed_count(self) -> int:
+        """Number of firings whose action ran."""
+        with self._mutex:
+            return sum(1 for r in self._records if r.executed)
+
+    def clear(self) -> None:
+        """Drop all records (between experiment phases)."""
+        with self._mutex:
+            self._records = []
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._records)

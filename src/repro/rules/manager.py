@@ -1,0 +1,824 @@
+"""The Rule Manager (paper §5.4, §6).
+
+"The Rule Manager is responsible for firing the appropriate rules when an
+event is detected.  That is, it determines which rules to fire, and
+schedules condition evaluation and action execution for those rules
+according to their coupling modes."
+
+Its paper interface is a single operation — **Signal Event** — used by the
+Event Detectors and the Transaction Manager.  Everything else here
+implements the protocols of Section 6:
+
+* **rule creation** (§6.1): the application's create-rule request goes to
+  the Object Manager, which creates the rule object and signals the
+  create-rule event; the Rule Manager (synchronously, before the Object
+  Manager resumes) adds the rule to the Condition Evaluator, programs the
+  Event Detectors, and extends its event->rule mapping;
+* **event signal processing** (§6.2): triggered rules are partitioned by
+  E-C coupling; *separate* firings get new top-level transactions in their
+  own threads; *deferred* firings are saved on the triggering transaction;
+  *immediate* firings evaluate conditions in subtransactions (all
+  conditions first, then actions), suspending the triggering operation;
+* **transaction commit processing** (§6.3): at commit the deferred set is
+  split into deferred-condition and deferred-action firings and processed
+  before commit completes.
+
+Cascading: operations performed by conditions/actions signal further events
+through the same path, producing the paper's trees of nested transactions.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.clock import Clock, VirtualClock
+from repro.conditions.condition import ConditionOutcome
+from repro.conditions.evaluator import ConditionEvaluator, Memo
+from repro.core import tracing
+from repro.errors import RuleError, TransactionAborted
+from repro.events.composite import CompositeEventDetector
+from repro.events.database import DatabaseEventDetector
+from repro.events.derivation import derive_event_spec
+from repro.events.external import ExternalEventDetector
+from repro.events.signal import EventSignal
+from repro.events.spec import (
+    TXN_OPS,
+    CompositeEventSpec,
+    DatabaseEventSpec,
+    EventSpec,
+    ExternalEventSpec,
+    TemporalEventSpec,
+)
+from repro.events.temporal import TemporalEventDetector
+from repro.objstore.manager import ObjectManager
+from repro.objstore.objects import OID
+from repro.rules.actions import ActionContext
+from repro.rules.coupling import DEFERRED, IMMEDIATE, SEPARATE
+from repro.rules.firing import FiringLog, RuleFiring
+from repro.rules.rule import RULE_CLASS, Rule
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction
+from repro.txn.undo import CallbackUndo
+
+
+@dataclass
+class RuleManagerConfig:
+    """Tunables of the Rule Manager.
+
+    * ``concurrent_conditions`` — evaluate the conditions of an immediate
+      group in concurrent sibling subtransactions (the paper's "for rules
+      with the same event and E-C coupling mode, the condition evaluation
+      transactions will execute concurrently"); serial by default for
+      determinism.
+    * ``defer_to_top_level`` — where deferred firings whose event occurred
+      in a *subtransaction* are queued.  True (default) queues them on the
+      top-level transaction, so deferred work — notably integrity
+      constraints — runs once, at the outermost commit, against the
+      transaction's final state (the execution-model intent [HSU88] and the
+      System R integrity lineage).  False follows §2.1's letter ("the same
+      transaction as the triggering event"): the deferred set of each
+      subtransaction is processed at that subtransaction's own commit.
+      Events occurring directly in a top-level transaction behave the same
+      either way.
+    * ``max_cascade_depth`` — bound on recursive rule triggering.
+    * ``max_deferred_rounds`` — bound on deferred firings scheduling further
+      deferred firings at the same commit.
+    """
+
+    concurrent_conditions: bool = False
+    defer_to_top_level: bool = True
+    max_cascade_depth: int = 64
+    max_deferred_rounds: int = 1000
+    drain_timeout: float = 60.0
+    #: optional deadline-aware dispatcher for separate-coupling firings
+    #: (the [BUC88] time-constrained scheduling integration): when set,
+    #: separate firings are submitted to it ordered by the triggering
+    #: rule's deadline instead of each spawning a dedicated thread
+    deadline_executor: Any = None
+
+
+class RuleManager:
+    """Maps events to rule firings, and rule firings to transactions (§5.4)."""
+
+    def __init__(self, object_manager: ObjectManager,
+                 txn_manager: TransactionManager,
+                 evaluator: ConditionEvaluator,
+                 temporal_detector: Optional[TemporalEventDetector] = None,
+                 external_detector: Optional[ExternalEventDetector] = None,
+                 composite_detector: Optional[CompositeEventDetector] = None,
+                 tracer: Optional[tracing.Tracer] = None,
+                 clock: Optional[Clock] = None,
+                 applications: Any = None,
+                 config: Optional[RuleManagerConfig] = None) -> None:
+        self._om = object_manager
+        self._txns = txn_manager
+        self._evaluator = evaluator
+        self._temporal = temporal_detector
+        self._external = external_detector
+        self._composite = composite_detector
+        self._tracer = tracer or tracing.Tracer()
+        self._clock = clock or VirtualClock()
+        self.applications = applications
+        self.config = config or RuleManagerConfig()
+
+        #: detector for transaction-control events ("the Transaction Manager
+        #: ... acts as an event detector", §5.2); its sink is this manager
+        self.txn_detector = DatabaseEventDetector(
+            object_manager.store.schema, sink=self.signal_event,
+            tracer=self._tracer, component=tracing.TRANSACTION_MANAGER)
+
+        self._rules: Dict[str, Rule] = {}
+        self._rules_by_oid: Dict[OID, Rule] = {}
+        self._event_map: Dict[EventSpec, Set[str]] = {}
+        self._pending = threading.local()
+        self._depth = threading.local()
+
+        self.firings = FiringLog()
+        self.background_errors: List[Tuple[str, str]] = []
+        self._threads: Set[threading.Thread] = set()
+        self._threads_cv = threading.Condition()
+        self.stats = {"signals": 0, "triggered": 0, "conditions_evaluated": 0,
+                      "actions_executed": 0, "separate_spawned": 0,
+                      "deferred_queued": 0}
+
+    # ============================================================ rule ops
+
+    def create_rule(self, rule: Rule, txn: Transaction, *,
+                    source: str = tracing.APPLICATION) -> Rule:
+        """Create a rule (paper §6.1).
+
+        The request is handled by the Object Manager: it creates the rule's
+        ``HiPAC::Rule`` object under a write lock and signals the
+        create-rule event; this manager registers the rule (condition graph,
+        event detectors, event->rule map) while handling that signal, before
+        the Object Manager resumes.  All registration is undone if ``txn``
+        aborts.
+        """
+        if rule.name in self._rules:
+            raise RuleError("a rule named %r already exists" % rule.name)
+        if rule.event is None:
+            rule.event = derive_event_spec(rule.condition.queries)
+        stack = self._pending_stack()
+        stack.append(rule)
+        try:
+            self._om.create(RULE_CLASS, rule.store_attrs(), txn, source=source)
+        finally:
+            if stack and stack[-1] is rule:
+                stack.pop()
+        if rule.name not in self._rules:  # pragma: no cover - defensive
+            raise RuleError("rule registration failed for %r" % rule.name)
+        return rule
+
+    def delete_rule(self, name: str, txn: Transaction, *,
+                    source: str = tracing.APPLICATION) -> None:
+        """Delete a rule (write lock; undone if ``txn`` aborts)."""
+        rule = self.get_rule(name)
+        assert rule.oid is not None
+        self._om.delete(rule.oid, txn, source=source)
+
+    def enable_rule(self, name: str, txn: Transaction, *,
+                    source: str = tracing.APPLICATION) -> None:
+        """Re-enable automatic firing of a rule (write lock)."""
+        rule = self.get_rule(name)
+        assert rule.oid is not None
+        self._om.update(rule.oid, {"enabled": True}, txn, source=source)
+
+    def disable_rule(self, name: str, txn: Transaction, *,
+                     source: str = tracing.APPLICATION) -> None:
+        """Disable automatic firing of a rule (write lock)."""
+        rule = self.get_rule(name)
+        assert rule.oid is not None
+        self._om.update(rule.oid, {"enabled": False}, txn, source=source)
+
+    def fire_rule(self, name: str, txn: Optional[Transaction], *,
+                  args: Optional[Dict[str, Any]] = None) -> None:
+        """Manually fire a rule (the paper's *fire* operation).
+
+        Evaluates the condition and, if satisfied, executes the action,
+        subject to the rule's coupling modes, exactly as if its event had
+        occurred in ``txn``.  Manual firing works even when automatic firing
+        is disabled.  ``args`` provides event-argument bindings for
+        parameterized conditions.
+        """
+        rule = self.get_rule(name)
+        signal = EventSignal(kind="external", name="fire:%s" % name,
+                             args=dict(args or {}), txn=txn,
+                             timestamp=self._clock.now())
+        self._process_firings([rule], signal, manual=True)
+
+    def rules_in_group(self, group: str) -> List[str]:
+        """Names of the rules belonging to ``group`` (paper §4.2), sorted."""
+        return sorted(name for name, rule in self._rules.items()
+                      if rule.group == group)
+
+    def enable_group(self, group: str, txn: Transaction, *,
+                     source: str = tracing.APPLICATION) -> List[str]:
+        """Enable every rule in a group; returns the affected rule names."""
+        names = self.rules_in_group(group)
+        for name in names:
+            self.enable_rule(name, txn, source=source)
+        return names
+
+    def disable_group(self, group: str, txn: Transaction, *,
+                      source: str = tracing.APPLICATION) -> List[str]:
+        """Disable every rule in a group; returns the affected rule names."""
+        names = self.rules_in_group(group)
+        for name in names:
+            self.disable_rule(name, txn, source=source)
+        return names
+
+    def get_rule(self, name: str) -> Rule:
+        """Return the rule named ``name`` or raise :class:`RuleError`."""
+        rule = self._rules.get(name)
+        if rule is None:
+            raise RuleError("no such rule: %r" % name)
+        return rule
+
+    def rule_names(self) -> List[str]:
+        """Names of all registered rules, sorted."""
+        return sorted(self._rules)
+
+    # ===================================================== the §5.4 interface
+
+    def signal_event(self, signal: EventSignal) -> None:
+        """Report the occurrence of an event (the paper's single operation).
+
+        Called by the Event Detectors (and, for transaction events, by the
+        Transaction Manager through :meth:`transaction_event`).  The
+        operation that caused the signal is suspended until this returns
+        (the call is synchronous).
+        """
+        depth = getattr(self._depth, "value", 0)
+        if depth >= self.config.max_cascade_depth:
+            raise RuleError(
+                "rule cascade exceeded max depth %d (signal %s)"
+                % (self.config.max_cascade_depth, signal.describe())
+            )
+        self._depth.value = depth + 1
+        try:
+            self.stats["signals"] += 1
+            if signal.kind == "database" and signal.class_name == RULE_CLASS:
+                self._manage_rule_object(signal)
+            # Feed the temporal detector (baselines of relative/periodic
+            # events) and the composite automata.  Composite occurrences
+            # recognized here re-enter signal_event recursively.
+            if self._temporal is not None:
+                self._temporal.observe_baseline(signal)
+            if self._composite is not None:
+                self._composite.observe(signal)
+            rules = self._triggered_rules(signal)
+            if rules:
+                self.stats["triggered"] += len(rules)
+                self._process_firings(rules, signal)
+        finally:
+            self._depth.value = depth
+
+    def transaction_event(self, kind: str, txn: Transaction) -> None:
+        """Transaction-control event hook (wired as the Transaction
+        Manager's event sink).
+
+        For ``commit``, first processes the transaction's deferred rule
+        firings (paper §6.3) and then reports the commit event; begin/abort
+        events are simply reported.  Abort events are reported detached
+        (rules triggered by an abort cannot run inside the aborted
+        transaction)."""
+        if kind == "commit":
+            self._process_deferred(txn)
+            if not txn.internal:
+                signal = EventSignal(kind="database", op="commit", txn=txn,
+                                     timestamp=self._clock.now())
+                self.txn_detector.observe(signal)
+        elif kind == "begin" and not txn.internal:
+            signal = EventSignal(kind="database", op="begin", txn=txn,
+                                 timestamp=self._clock.now())
+            self.txn_detector.observe(signal)
+        elif kind == "abort" and not txn.internal:
+            signal = EventSignal(kind="database", op="abort", txn=None,
+                                 timestamp=self._clock.now())
+            self.txn_detector.observe(signal)
+
+    # ================================================= rule-object management
+
+    def _pending_stack(self) -> List[Rule]:
+        stack = getattr(self._pending, "stack", None)
+        if stack is None:
+            stack = []
+            self._pending.stack = stack
+        return stack
+
+    def bootstrap_specs(self) -> List[DatabaseEventSpec]:
+        """The self-management event specs (create/update/delete on the rule
+        class) that the facade programs into the database event detector."""
+        return [
+            DatabaseEventSpec("create", RULE_CLASS),
+            DatabaseEventSpec("update", RULE_CLASS),
+            DatabaseEventSpec("delete", RULE_CLASS),
+        ]
+
+    def _manage_rule_object(self, signal: EventSignal) -> None:
+        assert signal.oid is not None
+        txn = signal.txn
+        if txn is None:  # pragma: no cover - rule ops always run in a txn
+            raise RuleError("rule-object operations require a transaction")
+        if signal.op == "create":
+            stack = self._pending_stack()
+            if not stack:
+                # An application created a bare rule object without going
+                # through create_rule; there is no condition/action to
+                # register, so nothing to manage.
+                return
+            rule = stack[-1]
+            self._register_rule(rule, signal.oid, txn)
+        elif signal.op == "delete":
+            rule = self._rules_by_oid.get(signal.oid)
+            if rule is not None:
+                self._unregister_rule(rule, txn)
+        elif signal.op == "update":
+            rule = self._rules_by_oid.get(signal.oid)
+            if rule is None or signal.new_attrs is None:
+                return
+            new_enabled = bool(signal.new_attrs.get("enabled", rule.enabled))
+            if new_enabled != rule.enabled:
+                self._set_enabled(rule, new_enabled, txn)
+
+    def _register_rule(self, rule: Rule, oid: OID, txn: Transaction) -> None:
+        assert rule.event is not None
+        rule.oid = oid
+        # §6.1 step 1: add the rule to the condition graph.
+        self._evaluator.add_rule(rule.condition, txn)
+        # §6.1 step 2: program the event detectors.
+        self._define_event(rule.event)
+        txn.log_undo(CallbackUndo(
+            lambda: self._delete_event(rule.event),
+            label="undefine events of %s" % rule.name))
+        # §6.1 step 3: extend the event->rule mapping.
+        for spec in self._mapping_specs(rule.event):
+            self._event_map.setdefault(spec, set()).add(rule.name)
+        self._rules[rule.name] = rule
+        self._rules_by_oid[oid] = rule
+        txn.log_undo(CallbackUndo(
+            lambda: self._forget_rule(rule),
+            label="forget rule %s" % rule.name))
+
+    def _unregister_rule(self, rule: Rule, txn: Transaction) -> None:
+        assert rule.event is not None
+        self._evaluator.delete_rule(rule.condition, txn)
+        self._delete_event(rule.event)
+        txn.log_undo(CallbackUndo(
+            lambda: self._define_event(rule.event),
+            label="re-define events of %s" % rule.name))
+        self._forget_rule(rule)
+        txn.log_undo(CallbackUndo(
+            lambda: self._remember_rule(rule),
+            label="re-register rule %s" % rule.name))
+
+    def _forget_rule(self, rule: Rule) -> None:
+        for spec in self._mapping_specs(rule.event):
+            names = self._event_map.get(spec)
+            if names is not None:
+                names.discard(rule.name)
+                if not names:
+                    del self._event_map[spec]
+        self._rules.pop(rule.name, None)
+        if rule.oid is not None:
+            self._rules_by_oid.pop(rule.oid, None)
+
+    def _remember_rule(self, rule: Rule) -> None:
+        for spec in self._mapping_specs(rule.event):
+            self._event_map.setdefault(spec, set()).add(rule.name)
+        self._rules[rule.name] = rule
+        if rule.oid is not None:
+            self._rules_by_oid[rule.oid] = rule
+
+    def _set_enabled(self, rule: Rule, enabled: bool, txn: Transaction) -> None:
+        previous = rule.enabled
+        rule.enabled = enabled
+        self._sync_detector_enablement(rule)
+        def revert() -> None:
+            rule.enabled = previous
+            self._sync_detector_enablement(rule)
+        txn.log_undo(CallbackUndo(revert, label="revert enable %s" % rule.name))
+
+    def _sync_detector_enablement(self, rule: Rule) -> None:
+        """Disable event detection for a spec only when *no* enabled rule
+        uses it (several rules may share one event, §5.3)."""
+        for spec in self._mapping_specs(rule.event):
+            names = self._event_map.get(spec, set())
+            any_enabled = any(
+                self._rules[name].enabled
+                for name in names if name in self._rules
+            )
+            detector = self._detector_for(spec)
+            if detector is None or not detector.is_defined(spec):
+                continue
+            if any_enabled:
+                detector.enable_event(spec)
+            else:
+                detector.disable_event(spec)
+
+    # ====================================================== detector routing
+
+    def _mapping_specs(self, event: Optional[EventSpec]) -> List[EventSpec]:
+        """The specs under which a rule is looked up when signals arrive.
+
+        A composite rule is triggered by its composite occurrences (reported
+        by the composite detector with the composite spec); a primitive rule
+        by its primitive spec."""
+        if event is None:
+            return []
+        return [event]
+
+    def _detector_for(self, spec: EventSpec):
+        if isinstance(spec, CompositeEventSpec):
+            return self._composite
+        if isinstance(spec, DatabaseEventSpec):
+            if spec.op in TXN_OPS:
+                return self.txn_detector
+            return self._om.event_detector
+        if isinstance(spec, TemporalEventSpec):
+            return self._temporal
+        if isinstance(spec, ExternalEventSpec):
+            return self._external
+        return None
+
+    def _define_event(self, spec: EventSpec) -> None:
+        """Program the detectors for ``spec`` (recursively for composites
+        and temporal baselines), with tracing per §6.1."""
+        detector = self._detector_for(spec)
+        if detector is None:
+            raise RuleError("no detector available for event %r" % spec)
+        self._tracer.record(tracing.RULE_MANAGER, tracing.EVENT_DETECTOR,
+                            "define_event", repr(spec))
+        detector.define_event(spec)
+        if isinstance(spec, CompositeEventSpec):
+            for member in spec.members:
+                self._define_event(member)
+        elif isinstance(spec, TemporalEventSpec) and spec.baseline is not None:
+            self._define_event(spec.baseline)
+
+    def _delete_event(self, spec: EventSpec) -> None:
+        detector = self._detector_for(spec)
+        if detector is None:
+            return
+        self._tracer.record(tracing.RULE_MANAGER, tracing.EVENT_DETECTOR,
+                            "delete_event", repr(spec))
+        detector.delete_event(spec)
+        if isinstance(spec, CompositeEventSpec):
+            for member in spec.members:
+                self._delete_event(member)
+        elif isinstance(spec, TemporalEventSpec) and spec.baseline is not None:
+            self._delete_event(spec.baseline)
+
+    # ========================================================== §6.2 firing
+
+    def _triggered_rules(self, signal: EventSignal) -> List[Rule]:
+        if signal.spec is None:
+            return []
+        names = self._event_map.get(signal.spec, ())
+        rules = [self._rules[name] for name in sorted(names)
+                 if name in self._rules and self._rules[name].enabled]
+        rules.sort(key=lambda rule: (-rule.priority, rule.name))
+        return rules
+
+    def _process_firings(self, rules: List[Rule], signal: EventSignal, *,
+                         manual: bool = False) -> None:
+        """Partition triggered rules by E-C coupling and schedule them
+        (paper §6.2)."""
+        txn = signal.txn
+        separate = [r for r in rules if r.ec_coupling == SEPARATE]
+        deferred = [r for r in rules if r.ec_coupling == DEFERRED]
+        immediate = [r for r in rules if r.ec_coupling == IMMEDIATE]
+
+        for rule in separate:
+            self._launch_separate_firing(rule, signal)
+
+        if txn is not None:
+            target = txn.top_level() if self.config.defer_to_top_level else txn
+            for rule in deferred:
+                self.stats["deferred_queued"] += 1
+                target.add_deferred_condition((rule, signal))
+                self.firings.append(RuleFiring(
+                    rule.name, signal.describe(), rule.ec_coupling,
+                    rule.ca_coupling, triggering_txn=txn.txn_id, deferred=True))
+        else:
+            # Events outside any transaction (temporal, detached external):
+            # host immediate *and* deferred work in a fresh top-level
+            # transaction; its commit drives the deferred set.
+            immediate = immediate + deferred
+            deferred = []
+
+        if not immediate:
+            return
+        host = txn
+        detached = False
+        if host is None:
+            host = self._txns.create_transaction(source=tracing.RULE_MANAGER,
+                                                 label="detached-firing",
+                                                 internal=True)
+            detached = True
+        try:
+            self._fire_immediate_group(immediate, signal, host)
+        except BaseException:
+            if detached:
+                self._txns.abort_transaction(host, source=tracing.RULE_MANAGER)
+            raise
+        if detached:
+            self._txns.commit_transaction(host, source=tracing.RULE_MANAGER)
+
+    def _fire_immediate_group(self, rules: List[Rule], signal: EventSignal,
+                              host: Transaction) -> None:
+        """Evaluate all conditions first (each in a subtransaction of the
+        triggering transaction), then execute the satisfied rules' actions
+        per their C-A coupling (paper §6.2)."""
+        outcomes: List[Tuple[Rule, RuleFiring, ConditionOutcome]] = []
+        if self.config.concurrent_conditions and len(rules) > 1:
+            outcomes = self._evaluate_concurrently(rules, signal, host)
+        else:
+            memo: Memo = {}
+            for rule in rules:
+                firing, outcome = self._evaluate_condition(rule, signal, host,
+                                                           memo, IMMEDIATE)
+                outcomes.append((rule, firing, outcome))
+        for rule, firing, outcome in outcomes:
+            if not outcome.satisfied:
+                continue
+            self._route_action(rule, firing, outcome, signal, host)
+
+    def _route_action(self, rule: Rule, firing: RuleFiring,
+                      outcome: ConditionOutcome, signal: EventSignal,
+                      condition_host: Transaction) -> None:
+        """Schedule the action of a satisfied rule per its C-A coupling.
+
+        ``condition_host`` is the transaction relative to which the
+        condition was evaluated (the triggering transaction for immediate
+        and deferred E-C; the separate top-level transaction for separate
+        E-C)."""
+        if rule.ca_coupling == IMMEDIATE:
+            self._execute_action(rule, firing, outcome, signal, condition_host)
+        elif rule.ca_coupling == DEFERRED:
+            self.stats["deferred_queued"] += 1
+            firing.deferred = True
+            target = (condition_host.top_level()
+                      if self.config.defer_to_top_level else condition_host)
+            target.add_deferred_action((rule, signal, outcome, firing))
+        else:  # separate
+            self._launch_separate_action(rule, firing, outcome, signal)
+
+    def _evaluate_concurrently(self, rules, signal, host):
+        """Concurrent sibling condition subtransactions (paper §3.2, §6.2)."""
+        results: List[Optional[Tuple[Rule, RuleFiring, ConditionOutcome]]] = (
+            [None] * len(rules))
+        errors: List[BaseException] = []
+
+        def worker(index: int, rule: Rule) -> None:
+            try:
+                firing, outcome = self._evaluate_condition(
+                    rule, signal, host, None, IMMEDIATE)
+                results[index] = (rule, firing, outcome)
+            except BaseException as exc:  # collected, re-raised by caller
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i, rule), daemon=True)
+                   for i, rule in enumerate(rules)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return [entry for entry in results if entry is not None]
+
+    def _evaluate_condition(self, rule: Rule, signal: EventSignal,
+                            parent: Transaction, memo: Optional[Memo],
+                            coupling: str) -> Tuple[RuleFiring, ConditionOutcome]:
+        """Evaluate one rule's condition in a new subtransaction of
+        ``parent`` (fire takes a read lock on the rule object)."""
+        ctxn = self._txns.create_transaction(parent=parent,
+                                             source=tracing.RULE_MANAGER,
+                                             label="cond:%s" % rule.name,
+                                             internal=True)
+        firing = RuleFiring(rule.name, signal.describe(), rule.ec_coupling,
+                            rule.ca_coupling, triggering_txn=parent.txn_id,
+                            condition_txn=ctxn.txn_id)
+        self.firings.append(firing)
+        try:
+            if rule.oid is not None:
+                # "Firing requires a read lock" (§2.2).
+                self._om.read(rule.oid, ctxn, source=tracing.RULE_MANAGER)
+            self.stats["conditions_evaluated"] += 1
+            outcome = self._evaluator.evaluate(
+                rule.condition, signal, ctxn, coupling=coupling, memo=memo)
+            self._txns.commit_transaction(ctxn, source=tracing.RULE_MANAGER)
+            firing.satisfied = outcome.satisfied
+            return firing, outcome
+        except BaseException as exc:
+            firing.error = str(exc)
+            if not ctxn.is_finished():
+                self._txns.abort_transaction(ctxn, source=tracing.RULE_MANAGER)
+            raise
+
+    def _execute_action(self, rule: Rule, firing: RuleFiring,
+                        outcome: ConditionOutcome, signal: EventSignal,
+                        parent: Transaction) -> None:
+        """Execute one rule's action in a new subtransaction of ``parent``."""
+        atxn = self._txns.create_transaction(parent=parent,
+                                             source=tracing.RULE_MANAGER,
+                                             label="act:%s" % rule.name,
+                                             internal=True)
+        firing.action_txn = atxn.txn_id
+        try:
+            ctx = ActionContext(
+                object_manager=self._om, txn=atxn, signal=signal,
+                bindings=outcome.bindings, results=outcome.results,
+                applications=self.applications, rule=rule,
+                signal_external=self._signal_external)
+            rule.action.run(ctx)
+            self._txns.commit_transaction(atxn, source=tracing.RULE_MANAGER)
+            firing.executed = True
+            self.stats["actions_executed"] += 1
+        except BaseException as exc:
+            firing.error = str(exc)
+            if not atxn.is_finished():
+                self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
+            raise
+
+    def _signal_external(self, name: str, args: Dict[str, Any],
+                         txn: Optional[Transaction]) -> Any:
+        if self._external is None:
+            raise RuleError("no external event detector wired")
+        return self._external.signal(name, args, txn=txn,
+                                     timestamp=self._clock.now())
+
+    # ===================================================== separate coupling
+
+    def _launch_separate_firing(self, rule: Rule, signal: EventSignal) -> None:
+        """Spawn a separate-coupling firing: condition (and, per C-A
+        coupling, action) in a new top-level transaction on its own thread
+        (paper §6.2).
+
+        With ``rule.separate_dependent`` (extension), the launch waits for
+        the triggering transaction's top-level commit and is discarded on
+        abort."""
+        def body() -> None:
+            try:
+                firing, outcome = self._separate_condition(rule, signal)
+            except TransactionAborted:
+                return  # recorded on the firing; separate work just stops
+            except Exception as exc:
+                self.background_errors.append((rule.name, str(exc)))
+
+        if rule.separate_dependent and signal.txn is not None:
+            # Hook the transaction in which the event occurred: a nested
+            # transaction's hooks migrate to its parent on commit and are
+            # dropped on abort, so the firing launches only if the event's
+            # effects become permanent (top-level commit).
+            signal.txn.on_commit.append(
+                lambda _txn: self._spawn(body, rule.name,
+                                         deadline=rule.deadline))
+        else:
+            self._spawn(body, rule.name, deadline=rule.deadline)
+
+    def _separate_condition(self, rule: Rule, signal: EventSignal):
+        stxn = self._txns.create_transaction(source=tracing.RULE_MANAGER,
+                                             label="sep-cond:%s" % rule.name,
+                                             internal=True)
+        firing = RuleFiring(rule.name, signal.describe(), rule.ec_coupling,
+                            rule.ca_coupling,
+                            triggering_txn=(signal.txn.txn_id
+                                            if signal.txn is not None else None),
+                            condition_txn=stxn.txn_id, separate_thread=True)
+        self.firings.append(firing)
+        try:
+            if rule.oid is not None:
+                self._om.read(rule.oid, stxn, source=tracing.RULE_MANAGER)
+            self.stats["conditions_evaluated"] += 1
+            outcome = self._evaluator.evaluate(
+                rule.condition, signal, stxn, coupling=SEPARATE)
+            firing.satisfied = outcome.satisfied
+            if outcome.satisfied:
+                self._route_action(rule, firing, outcome, signal, stxn)
+            self._txns.commit_transaction(stxn, source=tracing.RULE_MANAGER)
+            return firing, outcome
+        except BaseException as exc:
+            firing.error = str(exc)
+            if not stxn.is_finished():
+                self._txns.abort_transaction(stxn, source=tracing.RULE_MANAGER)
+            raise
+
+    def _launch_separate_action(self, rule: Rule, firing: RuleFiring,
+                                outcome: ConditionOutcome,
+                                signal: EventSignal) -> None:
+        def body() -> None:
+            atxn = self._txns.create_transaction(source=tracing.RULE_MANAGER,
+                                                 label="sep-act:%s" % rule.name,
+                                                 internal=True)
+            firing.action_txn = atxn.txn_id
+            firing.separate_thread = True
+            try:
+                ctx = ActionContext(
+                    object_manager=self._om, txn=atxn, signal=signal,
+                    bindings=outcome.bindings, results=outcome.results,
+                    applications=self.applications, rule=rule,
+                    signal_external=self._signal_external)
+                rule.action.run(ctx)
+                self._txns.commit_transaction(atxn, source=tracing.RULE_MANAGER)
+                firing.executed = True
+                self.stats["actions_executed"] += 1
+            except TransactionAborted as exc:
+                firing.error = str(exc)
+                if not atxn.is_finished():
+                    self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
+            except Exception as exc:
+                firing.error = str(exc)
+                self.background_errors.append((rule.name, str(exc)))
+                if not atxn.is_finished():
+                    self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
+
+        self._spawn(body, rule.name, deadline=rule.deadline)
+
+    def _spawn(self, body: Callable[[], None], label: str,
+               deadline: Optional[float] = None) -> None:
+        self.stats["separate_spawned"] += 1
+        executor = self.config.deadline_executor
+        if executor is not None:
+            # Deadline-aware dispatch: most urgent separate work first.
+            absolute = (self._clock.now() + deadline if deadline is not None
+                        else float("inf"))
+            executor.submit(absolute, body)
+            return
+
+        def runner() -> None:
+            try:
+                body()
+            finally:
+                with self._threads_cv:
+                    self._threads.discard(threading.current_thread())
+                    self._threads_cv.notify_all()
+
+        thread = threading.Thread(target=runner, daemon=True,
+                                  name="hipac-sep-%s" % label)
+        with self._threads_cv:
+            self._threads.add(thread)
+        thread.start()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until all separate-coupling threads have finished.
+
+        Returns True on quiescence, False on timeout.  Used by tests,
+        benchmarks, and applications that need a consistent post-firing
+        view."""
+        import time
+        deadline = time.monotonic() + (timeout if timeout is not None
+                                       else self.config.drain_timeout)
+        with self._threads_cv:
+            while self._threads:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._threads_cv.wait(timeout=remaining)
+        executor = self.config.deadline_executor
+        if executor is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            return executor.drain(timeout=remaining)
+        return True
+
+    # ========================================================== §6.3 commit
+
+    def _process_deferred(self, txn: Transaction) -> None:
+        """Process the deferred rule firings of a committing transaction.
+
+        "This set is divided into two subsets according to whether it was
+        the condition or action that was deferred.  For each of the former,
+        the Rule Manager calls on the Condition Evaluator to evaluate the
+        rule's condition.  For the latter, the Rule Manager simply executes
+        the action."  Deferred work may queue further deferred work (e.g.
+        deferred C-A after a deferred condition); rounds repeat until the
+        set drains."""
+        rounds = 0
+        while txn.has_deferred_work():
+            rounds += 1
+            if rounds > self.config.max_deferred_rounds:
+                raise RuleError(
+                    "deferred rule firings did not quiesce after %d rounds"
+                    % self.config.max_deferred_rounds)
+            conditions = txn.deferred_conditions
+            txn.deferred_conditions = []
+            actions = txn.deferred_actions
+            txn.deferred_actions = []
+            memo: Memo = {}
+            satisfied: List[Tuple[Rule, RuleFiring, ConditionOutcome, EventSignal]] = []
+            for rule, signal in conditions:
+                if not rule.enabled:
+                    continue
+                firing, outcome = self._evaluate_condition(
+                    rule, signal, txn, memo, DEFERRED)
+                if outcome.satisfied:
+                    satisfied.append((rule, firing, outcome, signal))
+            for rule, firing, outcome, signal in satisfied:
+                self._route_action(rule, firing, outcome, signal, txn)
+            for rule, signal, outcome, firing in actions:
+                self._execute_action(rule, firing, outcome, signal, txn)

@@ -1,0 +1,27 @@
+"""The Securities Analyst's Assistant — the paper's example application
+(§4.2, Figure 4.2) as a reusable library."""
+
+from repro.saa.programs import (
+    POSITION_CLASS,
+    STOCK_CLASS,
+    TRADE_CLASS,
+    TRADE_EXECUTED_EVENT,
+    Display,
+    Ticker,
+    TickerWindowEntry,
+    Trader,
+)
+from repro.saa.assistant import SecuritiesAssistant, saa_schema
+
+__all__ = [
+    "SecuritiesAssistant",
+    "saa_schema",
+    "Ticker",
+    "Display",
+    "Trader",
+    "TickerWindowEntry",
+    "STOCK_CLASS",
+    "TRADE_CLASS",
+    "POSITION_CLASS",
+    "TRADE_EXECUTED_EVENT",
+]

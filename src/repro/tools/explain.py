@@ -1,0 +1,106 @@
+"""Firing explanations — the debugger side of the §7 tooling.
+
+Turns a transaction's firing history into a readable account: which events
+occurred, which rules they triggered, under which coupling, in which
+(nested) transactions, whether conditions held and actions ran.  Useful
+when a rule base misbehaves and "why did/didn't rule X fire?" needs an
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.rules.firing import FiringLog, RuleFiring
+from repro.txn.transaction import Transaction
+
+
+def render_transaction_tree(txn: Transaction, indent: str = "") -> str:
+    """Render a (possibly nested) transaction tree, one line per node."""
+    label = " %s" % txn.label if txn.label else ""
+    lines = ["%s%s [%s]%s" % (indent, txn.txn_id, txn.state, label)]
+    for child in txn.children:
+        lines.append(render_transaction_tree(child, indent + "  "))
+    return "\n".join(lines)
+
+
+def explain_firing(firing: RuleFiring) -> str:
+    """One firing, one sentence."""
+    parts = ["rule %r triggered by %s" % (firing.rule_name, firing.event)]
+    parts.append("(E-C %s, C-A %s)" % (firing.ec_coupling, firing.ca_coupling))
+    if firing.deferred and firing.condition_txn is None:
+        parts.append("queued for commit of %s" % firing.triggering_txn)
+        return " ".join(parts)
+    if firing.separate_thread:
+        parts.append("in a separate top-level transaction")
+    if firing.condition_txn:
+        parts.append("condition in %s" % firing.condition_txn)
+    if firing.satisfied is None:
+        parts.append("— condition not evaluated")
+    elif not firing.satisfied:
+        parts.append("— condition NOT satisfied, action skipped")
+    else:
+        parts.append("— condition satisfied")
+        if firing.executed:
+            parts.append("action executed in %s" % firing.action_txn)
+        elif firing.error:
+            parts.append("action FAILED: %s" % firing.error)
+        else:
+            parts.append("action pending (deferred/separate)")
+    if firing.error and firing.executed is False and firing.satisfied:
+        pass  # already reported above
+    elif firing.error and firing.satisfied is None:
+        parts.append("ERROR: %s" % firing.error)
+    return " ".join(parts)
+
+
+def explain(log: FiringLog, rule_name: Optional[str] = None,
+            last: Optional[int] = None) -> str:
+    """Render the firing log (optionally one rule's firings, or the last N)."""
+    firings = log.for_rule(rule_name) if rule_name else log.all()
+    if last is not None:
+        firings = firings[-last:]
+    if not firings:
+        return "no firings recorded"
+    return "\n".join(explain_firing(firing) for firing in firings)
+
+
+def why_not(db, rule_name: str) -> str:
+    """Diagnose why a rule has not been executing.
+
+    Checks, in order: does the rule exist, is it enabled, is its event
+    programmed and enabled at the detector, has it ever been triggered, and
+    what happened on its most recent firings."""
+    from repro.errors import RuleError
+
+    try:
+        rule = db.rule_manager.get_rule(rule_name)
+    except RuleError:
+        return "rule %r does not exist" % rule_name
+    reasons: List[str] = []
+    if not rule.enabled:
+        reasons.append("the rule is DISABLED")
+    detector = db.rule_manager._detector_for(rule.event)
+    if detector is None or not detector.is_defined(rule.event):
+        reasons.append("its event is not programmed on any detector")
+    elif not detector.is_enabled(rule.event):
+        reasons.append("its event is disabled at the detector")
+    firings = db.firing_log().for_rule(rule_name)
+    if not firings:
+        reasons.append("it has never been triggered (has its event occurred?)")
+    else:
+        recent = firings[-3:]
+        unsatisfied = [f for f in recent if f.satisfied is False]
+        failed = [f for f in recent if f.error]
+        if unsatisfied:
+            reasons.append("its condition was not satisfied on %d of the last"
+                           " %d firings" % (len(unsatisfied), len(recent)))
+        if failed:
+            reasons.append("recent firings errored: %s"
+                           % "; ".join(f.error for f in failed if f.error))
+        if not unsatisfied and not failed:
+            reasons.append("it fired normally %d time(s); the action ran in %s"
+                           % (len(firings),
+                              ", ".join(f.action_txn or "-" for f in recent)))
+    return "rule %r: %s" % (rule_name, "; ".join(reasons))

@@ -1,0 +1,31 @@
+"""Nested transactions: lock manager, transaction objects, and the
+Transaction Manager (paper §3 and §5.2)."""
+
+from repro.txn.locks import LockManager, LockMode, LockResource, compatible, supremum
+from repro.txn.transaction import (
+    ABORTED,
+    ACTIVE,
+    COMMITTED,
+    COMMITTING,
+    Transaction,
+)
+from repro.txn.manager import TransactionManager
+from repro.txn.undo import CallbackUndo, DeltaUndo, UndoRecord, replay_reverse
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LockResource",
+    "compatible",
+    "supremum",
+    "Transaction",
+    "TransactionManager",
+    "ACTIVE",
+    "COMMITTING",
+    "COMMITTED",
+    "ABORTED",
+    "UndoRecord",
+    "DeltaUndo",
+    "CallbackUndo",
+    "replay_reverse",
+]

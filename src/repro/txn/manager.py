@@ -1,0 +1,194 @@
+"""The Transaction Manager (paper §5.2).
+
+Implements the HiPAC nested transaction model: creating and terminating
+top-level and nested transactions, concurrency control (via
+:class:`~repro.txn.locks.LockManager`), and *acting as an event detector* —
+"it acts as an event detector, reporting transaction termination to the Rule
+Manager" (§5.2).  Per §6.3, the commit-event signal is issued **as part of
+commit processing, before commit completes**, so deferred rule firings run
+inside the committing transaction ("just prior to its parent transaction
+committing", §3.2) and the Transaction Manager "resumes commit processing"
+only after the Rule Manager replies.
+
+The interface is exactly the paper's three operations — create transaction,
+commit transaction, abort transaction — plus introspection used by tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.core import tracing
+from repro.errors import TransactionStateError
+from repro.txn.locks import LockManager, LockResource
+from repro.txn.transaction import (
+    ABORTED,
+    ACTIVE,
+    COMMITTED,
+    COMMITTING,
+    Transaction,
+)
+from repro.txn.undo import replay_reverse
+from repro.util.ids import IdGenerator
+
+TransactionEventSink = Callable[[str, Transaction], None]
+"""Hook to the Rule Manager: ``sink(kind, txn)`` with kind in
+``{"begin", "commit", "abort"}``.  Set by the HiPAC facade at wiring time."""
+
+
+class TransactionManager:
+    """Creates, commits, and aborts (nested) transactions."""
+
+    def __init__(self, lock_manager: Optional[LockManager] = None,
+                 tracer: Optional[tracing.Tracer] = None) -> None:
+        self.locks = lock_manager or LockManager()
+        self._ids = IdGenerator("t")
+        self._tracer = tracer or tracing.Tracer()
+        #: rule-manager hook; None until the facade wires the system
+        self.event_sink: Optional[TransactionEventSink] = None
+        #: whether begin/commit/abort produce rule-triggering events
+        self.signal_transaction_events = True
+        self._mutex = threading.Lock()
+        self._live: Dict[str, Transaction] = {}
+        self.stats = {"created": 0, "committed": 0, "aborted": 0,
+                      "top_level_committed": 0}
+
+    # ------------------------------------------------------------- create
+
+    def create_transaction(self, parent: Optional[Transaction] = None, *,
+                           deadline: Optional[float] = None, priority: int = 0,
+                           label: str = "", internal: bool = False,
+                           source: str = tracing.APPLICATION) -> Transaction:
+        """Create a top-level transaction (``parent=None``) or a nested one.
+
+        ``source`` identifies the calling component for tracing (the Rule
+        Manager creates transactions for rule firings, applications create
+        their own).
+        """
+        self._tracer.record(source, tracing.TRANSACTION_MANAGER,
+                            "create_transaction",
+                            "nested under %s" % parent.txn_id if parent else "top level")
+        txn = Transaction(self._ids.next_id(), parent, deadline=deadline,
+                          priority=priority, label=label, internal=internal)
+        with self._mutex:
+            self._live[txn.txn_id] = txn
+            self.stats["created"] += 1
+        if self.event_sink is not None and self.signal_transaction_events:
+            self._signal("begin", txn)
+        return txn
+
+    # ------------------------------------------------------------- commit
+
+    def commit_transaction(self, txn: Transaction, *,
+                           source: str = tracing.APPLICATION) -> None:
+        """Commit ``txn``.
+
+        Order of operations (paper §6.3):
+
+        1. signal the commit event to the Rule Manager, which processes the
+           transaction's deferred rule firings (in new subtransactions of
+           ``txn``) and any rules triggered by the commit event itself;
+        2. when the Rule Manager replies, resume commit processing: for a
+           nested transaction, transfer locks and the undo log to the
+           parent; for a top-level transaction, release locks and make
+           effects permanent;
+        3. run post-commit hooks (top-level only — a nested transaction's
+           hooks are adopted by its parent, since its effects are not yet
+           permanent).
+        """
+        self._tracer.record(source, tracing.TRANSACTION_MANAGER,
+                            "commit_transaction", txn.txn_id)
+        txn.require_active()
+        active_children = txn.active_children()
+        if active_children:
+            raise TransactionStateError(
+                "cannot commit %s: active subtransactions %s"
+                % (txn.txn_id, [child.txn_id for child in active_children])
+            )
+        txn.state = COMMITTING
+        try:
+            if self.event_sink is not None and self.signal_transaction_events:
+                self._signal("commit", txn)
+        except BaseException:
+            # Deferred rule work failed: the transaction cannot commit.
+            txn.state = ACTIVE
+            self.abort_transaction(txn, source=tracing.TRANSACTION_MANAGER)
+            raise
+        # Resume commit processing.
+        if txn.parent is not None:
+            self.locks.inherit_to_parent(txn)
+            txn.parent.adopt_child_log(txn)
+            # Permanence of nested effects awaits the ancestors: hand hooks up.
+            txn.parent.on_commit.extend(txn.on_commit)
+            txn.parent.on_abort.extend(txn.on_abort)
+            txn.on_commit = []
+            txn.on_abort = []
+            txn.state = COMMITTED
+        else:
+            txn.state = COMMITTED
+            txn.undo_log = []
+            self.locks.release_all(txn)
+            with self._mutex:
+                self.stats["top_level_committed"] += 1
+        with self._mutex:
+            self.stats["committed"] += 1
+            self._live.pop(txn.txn_id, None)
+        if txn.parent is None:
+            for hook in txn.on_commit:
+                hook(txn)
+            txn.on_commit = []
+
+    # -------------------------------------------------------------- abort
+
+    def abort_transaction(self, txn: Transaction, *,
+                          source: str = tracing.APPLICATION) -> None:
+        """Abort ``txn``: discard its effects and those of all descendants.
+
+        Idempotent on already-aborted transactions; committing/committed
+        transactions cannot be aborted by this call unless they are nested
+        inside the aborting subtree (their effects are discarded through the
+        parent's undo log).
+        """
+        self._tracer.record(source, tracing.TRANSACTION_MANAGER,
+                            "abort_transaction", txn.txn_id)
+        if txn.state == ABORTED:
+            return
+        if txn.state == COMMITTED:
+            raise TransactionStateError(
+                "cannot abort committed transaction %s" % txn.txn_id
+            )
+        # Abort any still-active descendants first (deepest first).
+        for child in txn.active_children():
+            self.abort_transaction(child, source=tracing.TRANSACTION_MANAGER)
+        txn.aborted_flag = True
+        txn.state = ABORTED
+        self.locks.wake_aborted(txn)
+        replay_reverse(txn.undo_log)
+        txn.undo_log = []
+        txn.deferred_conditions = []
+        txn.deferred_actions = []
+        self.locks.release_all(txn)
+        with self._mutex:
+            self.stats["aborted"] += 1
+            self._live.pop(txn.txn_id, None)
+        for hook in txn.on_abort:
+            hook(txn)
+        txn.on_abort = []
+        txn.on_commit = []
+        if self.event_sink is not None and self.signal_transaction_events:
+            self._signal("abort", txn)
+
+    # ---------------------------------------------------------------- misc
+
+    def _signal(self, kind: str, txn: Transaction) -> None:
+        self._tracer.record(tracing.TRANSACTION_MANAGER, tracing.RULE_MANAGER,
+                            "signal_event", "transaction %s %s" % (kind, txn.txn_id))
+        assert self.event_sink is not None
+        self.event_sink(kind, txn)
+
+    def live_transactions(self) -> List[Transaction]:
+        """Transactions created but not yet terminated (diagnostics)."""
+        with self._mutex:
+            return list(self._live.values())

@@ -1,0 +1,6 @@
+"""Small shared utilities: id generation and canonical value handling."""
+
+from repro.util.ids import IdGenerator
+from repro.util.canonical import canonical_value, freeze
+
+__all__ = ["IdGenerator", "canonical_value", "freeze"]

@@ -1,0 +1,34 @@
+"""Thread-safe monotonically increasing id generation.
+
+OIDs, transaction ids, rule ids, and firing ids all come from instances of
+:class:`IdGenerator` so that every identifier in a single HiPAC instance is
+small, dense, and deterministic — properties the tests and the tracing
+experiments rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class IdGenerator:
+    """Produce ids ``prefix1, prefix2, ...`` (or bare ints without a prefix).
+
+    Thread safe: multiple event-detector and rule-firing threads allocate ids
+    concurrently.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def next_int(self) -> int:
+        """Return the next integer id."""
+        with self._lock:
+            return next(self._counter)
+
+    def next_id(self) -> str:
+        """Return the next string id, ``<prefix><n>``."""
+        return "%s%d" % (self._prefix, self.next_int())

@@ -1,0 +1,19 @@
+"""Seeded workload generators for experiments and benchmarks."""
+
+from repro.workloads.generators import (
+    MarketDataGenerator,
+    Quote,
+    make_jobs,
+    make_symbol_rules,
+    make_symbols,
+    make_threshold_rules,
+)
+
+__all__ = [
+    "MarketDataGenerator",
+    "Quote",
+    "make_symbols",
+    "make_threshold_rules",
+    "make_symbol_rules",
+    "make_jobs",
+]

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttrType, AttributeDef, ClassDef, HiPAC
+
+
+def stock_class(name: str = "Stock") -> ClassDef:
+    """A stock class with an indexed symbol and a numeric price."""
+    return ClassDef(name, (
+        AttributeDef("symbol", AttrType.STRING, required=True, indexed=True),
+        AttributeDef("price", AttrType.NUMBER, default=0.0),
+        AttributeDef("volume", AttrType.INT, default=0),
+    ))
+
+
+@pytest.fixture
+def db() -> HiPAC:
+    """A fresh HiPAC instance with a short lock timeout (fast test failure)."""
+    return HiPAC(lock_timeout=2.0)
+
+
+@pytest.fixture
+def stock_db(db: HiPAC) -> HiPAC:
+    """HiPAC with the Stock class defined."""
+    db.define_class(stock_class())
+    return db
+
+

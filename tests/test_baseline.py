@@ -1,0 +1,161 @@
+"""Tests for the passive-DBMS baseline: polling clients and simple triggers."""
+
+import pytest
+
+from repro import Attr, AttrType, AttributeDef, ClassDef, Query, attributes
+from repro.baseline import PassiveDBMS, PollingClient, Trigger, TriggerSystem
+from repro.errors import RuleError
+
+
+@pytest.fixture
+def pdb():
+    db = PassiveDBMS(lock_timeout=2.0)
+    db.define_class(ClassDef("Stock", (
+        AttributeDef("symbol", AttrType.STRING, required=True, indexed=True),
+        AttributeDef("price", AttrType.NUMBER, default=0.0),
+    )))
+    return db
+
+
+class TestPassiveDBMS:
+    def test_crud_works(self, pdb):
+        with pdb.transaction() as txn:
+            oid = pdb.create("Stock", {"symbol": "A", "price": 1.0}, txn)
+            pdb.update(oid, {"price": 2.0}, txn)
+            assert pdb.read(oid, txn)["price"] == 2.0
+
+    def test_abort_rolls_back(self, pdb):
+        txn = pdb.begin()
+        pdb.create("Stock", {"symbol": "A"}, txn)
+        pdb.abort(txn)
+        with pdb.transaction() as r:
+            assert len(pdb.query(Query("Stock"), r)) == 0
+
+    def test_no_event_machinery_runs(self, pdb):
+        # The detector exists but is never programmed nor wired.
+        assert pdb.object_manager.event_detector.sink is None
+        with pdb.transaction() as txn:
+            pdb.create("Stock", {"symbol": "A"}, txn)
+        assert pdb.object_manager.event_detector.stats["reported"] == 0
+
+
+class TestPollingClient:
+    def test_detects_new_matches(self, pdb):
+        detected = []
+        client = PollingClient(
+            pdb, Query("Stock", Attr("price") > 50),
+            on_detect=lambda oid, attrs: detected.append(attrs["symbol"]),
+            interval=1.0)
+        client.poll(0.0)
+        assert detected == []
+        with pdb.transaction() as txn:
+            pdb.create("Stock", {"symbol": "HI", "price": 90.0}, txn)
+        client.poll(1.0)
+        assert detected == ["HI"]
+
+    def test_no_duplicate_detection(self, pdb):
+        client = PollingClient(pdb, Query("Stock", Attr("price") > 50))
+        with pdb.transaction() as txn:
+            pdb.create("Stock", {"symbol": "HI", "price": 90.0}, txn)
+        client.poll(0.0)
+        client.poll(1.0)
+        assert client.stats.detections == 1
+        assert client.stats.empty_polls == 1
+
+    def test_redetects_after_leaving_and_reentering(self, pdb):
+        client = PollingClient(pdb, Query("Stock", Attr("price") > 50))
+        with pdb.transaction() as txn:
+            oid = pdb.create("Stock", {"symbol": "HI", "price": 90.0}, txn)
+        client.poll(0.0)
+        with pdb.transaction() as txn:
+            pdb.update(oid, {"price": 10.0}, txn)
+        client.poll(1.0)
+        with pdb.transaction() as txn:
+            pdb.update(oid, {"price": 95.0}, txn)
+        fresh = client.poll(2.0)
+        assert fresh == [oid]
+
+    def test_rows_examined_counts_extent(self, pdb):
+        with pdb.transaction() as txn:
+            for i in range(10):
+                pdb.create("Stock", {"symbol": "S%d" % i, "price": 1.0}, txn)
+        client = PollingClient(pdb, Query("Stock", Attr("price") > 50))
+        client.poll(0.0)
+        client.poll(1.0)
+        assert client.stats.rows_examined == 20
+
+    def test_run_until_executes_due_polls(self, pdb):
+        client = PollingClient(pdb, Query("Stock"), interval=2.0)
+        ran = client.run_until(10.0)
+        assert ran == 6  # t=0,2,4,6,8,10
+        assert client.next_due == 12.0
+
+
+class TestTriggers:
+    def test_insert_trigger_fires(self, pdb):
+        system = TriggerSystem(pdb)
+        log = []
+        system.create_trigger(Trigger(
+            "log-insert", "Stock", "insert",
+            lambda inv: log.append(inv.new["symbol"])))
+        with pdb.transaction() as txn:
+            pdb.create("Stock", {"symbol": "A"}, txn)
+        assert log == ["A"]
+
+    def test_update_trigger_sees_old_and_new(self, pdb):
+        system = TriggerSystem(pdb)
+        seen = []
+        system.create_trigger(Trigger(
+            "watch", "Stock", "update",
+            lambda inv: seen.append((inv.old["price"], inv.new["price"]))))
+        with pdb.transaction() as txn:
+            oid = pdb.create("Stock", {"symbol": "A", "price": 1.0}, txn)
+            pdb.update(oid, {"price": 2.0}, txn)
+        assert seen == [(1.0, 2.0)]
+
+    def test_delete_trigger(self, pdb):
+        system = TriggerSystem(pdb)
+        log = []
+        system.create_trigger(Trigger(
+            "log-del", "Stock", "delete", lambda inv: log.append(inv.oid)))
+        with pdb.transaction() as txn:
+            oid = pdb.create("Stock", {"symbol": "A"}, txn)
+            pdb.delete(oid, txn)
+        assert log == [oid]
+
+    def test_trigger_action_runs_in_triggering_transaction(self, pdb):
+        pdb.define_class(ClassDef("Audit", (AttributeDef("note"),)))
+        system = TriggerSystem(pdb)
+        system.create_trigger(Trigger(
+            "audit", "Stock", "insert",
+            lambda inv: inv.db.create("Audit", {"note": "ins"}, inv.txn)))
+        txn = pdb.begin()
+        pdb.create("Stock", {"symbol": "A"}, txn)
+        pdb.abort(txn)
+        with pdb.transaction() as r:
+            assert len(pdb.query(Query("Audit"), r)) == 0
+
+    def test_cascade_depth_bounded(self, pdb):
+        system = TriggerSystem(pdb, max_depth=4)
+        system.create_trigger(Trigger(
+            "loop", "Stock", "insert",
+            lambda inv: inv.db.create(
+                "Stock", {"symbol": inv.new["symbol"] + "x"}, inv.txn)))
+        txn = pdb.begin()
+        with pytest.raises(RuleError):
+            pdb.create("Stock", {"symbol": "A"}, txn)
+        pdb.abort(txn)
+
+    def test_unsupported_operation_rejected(self):
+        with pytest.raises(RuleError):
+            Trigger("bad", "Stock", "commit", lambda inv: None)
+
+    def test_drop_trigger(self, pdb):
+        system = TriggerSystem(pdb)
+        log = []
+        system.create_trigger(Trigger(
+            "t", "Stock", "insert", lambda inv: log.append(1)))
+        system.drop_trigger("t")
+        with pdb.transaction() as txn:
+            pdb.create("Stock", {"symbol": "A"}, txn)
+        assert log == []

@@ -1,0 +1,91 @@
+"""Tests for the clock abstraction."""
+
+import pytest
+
+from repro.clock import SystemClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_starts_at_custom_time(self):
+        assert VirtualClock(100.0).now() == 100.0
+
+    def test_advance_moves_time(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        assert clock.now() == 5.0
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock(10.0)
+        assert clock.advance(5.0) == 15.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_set_jumps_forward(self):
+        clock = VirtualClock()
+        clock.set(42.0)
+        assert clock.now() == 42.0
+
+    def test_set_backwards_rejected(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.set(5.0)
+
+    def test_listeners_called_with_new_time(self):
+        clock = VirtualClock()
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance(3.0)
+        clock.advance(4.0)
+        assert seen == [3.0, 7.0]
+
+    def test_unsubscribe_stops_notifications(self):
+        clock = VirtualClock()
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance(1.0)
+        clock.unsubscribe(seen.append)
+        clock.advance(1.0)
+        assert seen == [1.0]
+
+    def test_unsubscribe_unknown_listener_is_noop(self):
+        clock = VirtualClock()
+        clock.unsubscribe(lambda t: None)  # no exception
+
+    def test_zero_advance_notifies(self):
+        clock = VirtualClock()
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance(0.0)
+        assert seen == [0.0]
+
+
+class TestSystemClock:
+    def test_now_is_wall_clock(self):
+        import time
+        clock = SystemClock()
+        before = time.time()
+        now = clock.now()
+        after = time.time()
+        assert before <= now <= after
+
+    def test_tick_notifies_listeners(self):
+        clock = SystemClock()
+        seen = []
+        clock.subscribe(seen.append)
+        clock.tick()
+        assert len(seen) == 1
+
+    def test_unsubscribe(self):
+        clock = SystemClock()
+        seen = []
+        clock.subscribe(seen.append)
+        clock.unsubscribe(seen.append)
+        clock.tick()
+        assert seen == []

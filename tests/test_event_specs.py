@@ -1,0 +1,165 @@
+"""Tests for event specifications and signals."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.events.signal import EventSignal
+from repro.events.spec import (
+    Conjunction,
+    DatabaseEventSpec,
+    Disjunction,
+    ExternalEventSpec,
+    Sequence,
+    TemporalEventSpec,
+    after,
+    at_time,
+    every,
+    external,
+    on_commit,
+    on_create,
+    on_update,
+)
+
+
+class TestDatabaseEventSpec:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(EventError):
+            DatabaseEventSpec("munge")
+
+    def test_attrs_only_for_update(self):
+        with pytest.raises(EventError):
+            DatabaseEventSpec("create", "C", frozenset({"a"}))
+
+    def test_txn_events_not_class_scoped(self):
+        with pytest.raises(EventError):
+            DatabaseEventSpec("commit", "C")
+
+    def test_structural_equality(self):
+        assert on_update("Stock", ["price"]) == on_update("Stock", ["price"])
+        assert on_update("Stock", ["price"]) != on_update("Stock", ["volume"])
+        assert hash(on_update("Stock")) == hash(on_update("Stock"))
+
+    def test_helpers(self):
+        assert on_create("C").op == "create"
+        assert on_commit().op == "commit"
+
+
+class TestTemporalEventSpec:
+    def test_absolute_requires_at(self):
+        with pytest.raises(EventError):
+            TemporalEventSpec("absolute")
+
+    def test_relative_requires_baseline(self):
+        with pytest.raises(EventError):
+            TemporalEventSpec("relative", offset=5.0)
+
+    def test_relative_negative_offset_rejected(self):
+        with pytest.raises(EventError):
+            after(on_create("C"), -1.0)
+
+    def test_periodic_requires_positive_period(self):
+        with pytest.raises(EventError):
+            every(0.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EventError):
+            TemporalEventSpec("lunar")
+
+    def test_helpers_and_equality(self):
+        assert at_time(5.0) == at_time(5.0)
+        assert every(10.0) == every(10.0)
+        assert every(10.0) != every(20.0)
+        assert after(on_create("C"), 1.0) == after(on_create("C"), 1.0)
+
+
+class TestExternalEventSpec:
+    def test_requires_name(self):
+        with pytest.raises(EventError):
+            ExternalEventSpec("")
+
+    def test_helper(self):
+        spec = external("trade", "symbol", "shares")
+        assert spec.parameters == ("symbol", "shares")
+
+    def test_equality_includes_parameters(self):
+        assert external("e", "a") != external("e", "b")
+
+
+class TestComposites:
+    def test_requires_two_members(self):
+        with pytest.raises(EventError):
+            Disjunction(on_create("C"))
+
+    def test_members_must_be_specs(self):
+        with pytest.raises(EventError):
+            Sequence(on_create("C"), "not a spec")
+
+    def test_disjunction_order_insensitive(self):
+        assert Disjunction(on_create("A"), on_create("B")) == \
+            Disjunction(on_create("B"), on_create("A"))
+
+    def test_sequence_order_sensitive(self):
+        assert Sequence(on_create("A"), on_create("B")) != \
+            Sequence(on_create("B"), on_create("A"))
+
+    def test_conjunction_order_insensitive(self):
+        assert Conjunction(on_create("A"), on_create("B")) == \
+            Conjunction(on_create("B"), on_create("A"))
+
+    def test_primitives_flattened(self):
+        spec = Disjunction(on_create("A"), Sequence(on_create("B"), on_create("C")))
+        assert len(spec.primitives()) == 3
+
+    def test_is_composite(self):
+        assert Disjunction(on_create("A"), on_create("B")).is_composite()
+        assert not on_create("A").is_composite()
+
+
+class TestSignalBindings:
+    def test_database_bindings(self):
+        from repro.objstore.objects import OID
+        oid = OID("Stock", 1)
+        signal = EventSignal(kind="database", op="update", class_name="Stock",
+                             oid=oid, old_attrs={"price": 1.0},
+                             new_attrs={"price": 2.0}, timestamp=5.0,
+                             user="alice")
+        bindings = signal.bindings()
+        assert bindings["oid"] == oid
+        assert bindings["old_price"] == 1.0
+        assert bindings["new_price"] == 2.0
+        assert bindings["user"] == "alice"
+        assert bindings["timestamp"] == 5.0
+
+    def test_changed_attrs(self):
+        signal = EventSignal(kind="database", op="update",
+                             old_attrs={"a": 1, "b": 2},
+                             new_attrs={"a": 1, "b": 3})
+        assert signal.changed_attrs() == {"b"}
+
+    def test_external_bindings(self):
+        signal = EventSignal(kind="external", name="trade",
+                             args={"symbol": "X", "shares": 5})
+        bindings = signal.bindings()
+        assert bindings["symbol"] == "X"
+        assert bindings["event_name"] == "trade"
+
+    def test_temporal_bindings(self):
+        signal = EventSignal(kind="temporal", timestamp=9.0, info="tick")
+        bindings = signal.bindings()
+        assert bindings["time"] == 9.0
+        assert bindings["info"] == "tick"
+
+    def test_composite_bindings_merge(self):
+        first = EventSignal(kind="external", name="a", args={"x": 1})
+        second = EventSignal(kind="external", name="b", args={"y": 2})
+        composite = EventSignal(kind="composite", timestamp=3.0,
+                                constituents=(first, second))
+        bindings = composite.bindings()
+        assert bindings["x"] == 1
+        assert bindings["y"] == 2
+        assert bindings["event_0_x"] == 1
+        assert bindings["event_1_y"] == 2
+
+    def test_describe_forms(self):
+        assert "external" in EventSignal(kind="external", name="e").describe()
+        assert "temporal" in EventSignal(kind="temporal", timestamp=1.0).describe()

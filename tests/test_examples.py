@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run to completion.
+
+These guard the documentation — examples are the first thing a new user
+runs, so they are executed as subprocesses exactly as a user would."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=120)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_cleanly(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+
+
+def test_quickstart_output_mentions_coupling_modes():
+    result = run_example("quickstart.py")
+    for mode in ("immediate", "deferred", "separate"):
+        assert mode in result.stdout
+
+
+def test_saa_example_reports_paper_observations():
+    result = run_example("securities_assistant.py")
+    assert "direct program-to-program interactions : 0" in result.stdout
+    assert "bought 500 XRX" in result.stdout
+
+
+def test_analysis_example_finds_the_cycle():
+    result = run_example("rulebase_analysis.py")
+    assert "POTENTIAL INFINITE CASCADES" in result.stdout
+
+
+def test_module_demo_runs():
+    result = subprocess.run([sys.executable, "-m", "repro"],
+                            capture_output=True, text=True, timeout=60)
+    assert result.returncode == 0, result.stderr
+    assert "Figure 5.1" in result.stdout

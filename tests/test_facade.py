@@ -1,0 +1,163 @@
+"""Tests for the HiPAC facade: wiring, auto-commit conveniences, stats."""
+
+import pytest
+
+from repro import (
+    Action,
+    ClassDef,
+    Condition,
+    HiPAC,
+    Query,
+    Rule,
+    SchemaError,
+    VirtualClock,
+    attributes,
+    on_create,
+)
+
+
+class TestConstruction:
+    def test_bootstrap_defines_rule_class(self):
+        db = HiPAC()
+        assert db.store.schema.has("HiPAC::Rule")
+
+    def test_detectors_wired_to_rule_manager(self):
+        db = HiPAC()
+        sink = db.rule_manager.signal_event
+        assert db.object_manager.event_detector.sink == sink
+        assert db.temporal_detector.sink == sink
+        assert db.external_detector.sink == sink
+        assert db.composite_detector.sink == sink
+        assert db.transaction_manager.event_sink == db.rule_manager.transaction_event
+
+    def test_custom_clock_used(self):
+        clock = VirtualClock(100.0)
+        db = HiPAC(clock=clock)
+        assert db.clock.now() == 100.0
+
+    def test_advance_time_requires_virtual_clock(self):
+        from repro.clock import SystemClock
+        db = HiPAC(clock=SystemClock())
+        with pytest.raises(TypeError):
+            db.advance_time(1.0)
+
+
+class TestAutoCommitConveniences:
+    def test_define_class_auto_commits(self):
+        db = HiPAC()
+        db.define_class(ClassDef("C", attributes("a")))
+        with db.transaction() as txn:
+            db.create("C", {"a": 1}, txn)
+
+    def test_define_class_in_caller_txn(self):
+        db = HiPAC()
+        txn = db.begin()
+        db.define_class(ClassDef("C", attributes("a")), txn)
+        db.abort(txn)
+        assert not db.store.schema.has("C")
+
+    def test_drop_class(self):
+        db = HiPAC()
+        db.define_class(ClassDef("C"))
+        db.drop_class("C")
+        assert not db.store.schema.has("C")
+
+    def test_create_rule_auto_commits(self):
+        db = HiPAC()
+        db.define_class(ClassDef("C", attributes("a")))
+        ran = []
+        db.create_rule(Rule(name="r", event=on_create("C"),
+                            condition=Condition.true(),
+                            action=Action.call(lambda ctx: ran.append(1))))
+        with db.transaction() as txn:
+            db.create("C", {"a": 1}, txn)
+        assert ran == [1]
+
+    def test_rule_ops_auto_commit(self):
+        db = HiPAC()
+        db.define_class(ClassDef("C", attributes("a")))
+        db.create_rule(Rule(name="r", event=on_create("C"),
+                            condition=Condition.true(),
+                            action=Action.call(lambda ctx: None)))
+        db.disable_rule("r")
+        db.enable_rule("r")
+        db.delete_rule("r")
+        assert db.rule_names() == []
+
+    def test_transaction_context_commits(self):
+        db = HiPAC()
+        db.define_class(ClassDef("C", attributes("a")))
+        with db.transaction() as txn:
+            db.create("C", {"a": 1}, txn)
+        with db.transaction() as txn:
+            assert len(db.query(Query("C"), txn)) == 1
+
+    def test_transaction_context_aborts_on_error(self):
+        db = HiPAC()
+        db.define_class(ClassDef("C", attributes("a")))
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                db.create("C", {"a": 1}, txn)
+                raise RuntimeError("boom")
+        with db.transaction() as txn:
+            assert len(db.query(Query("C"), txn)) == 0
+
+    def test_manual_abort_inside_context_ok(self):
+        db = HiPAC()
+        db.define_class(ClassDef("C", attributes("a")))
+        with db.transaction() as txn:
+            db.create("C", {"a": 1}, txn)
+            db.abort(txn)
+        with db.transaction() as txn:
+            assert len(db.query(Query("C"), txn)) == 0
+
+
+class TestStats:
+    def test_stats_sections_present(self):
+        db = HiPAC()
+        stats = db.stats()
+        for key in ("rules", "transactions", "locks", "objects",
+                    "conditions", "condition_graph", "applications"):
+            assert key in stats
+
+    def test_stats_reflect_activity(self):
+        db = HiPAC()
+        db.define_class(ClassDef("C", attributes("a")))
+        with db.transaction() as txn:
+            db.create("C", {"a": 1}, txn)
+        stats = db.stats()
+        assert stats["objects"]["operations"] >= 2
+        assert stats["transactions"]["top_level_committed"] >= 2
+
+
+class TestWorkloadGenerators:
+    def test_symbols_distinct(self):
+        from repro.workloads import make_symbols
+        symbols = make_symbols(100)
+        assert len(set(symbols)) == 100
+
+    def test_market_generator_deterministic(self):
+        from repro.workloads import MarketDataGenerator
+        a = MarketDataGenerator(["X", "Y"], seed=5)
+        b = MarketDataGenerator(["X", "Y"], seed=5)
+        assert [q.price for q in a.stream(20)] == \
+            [q.price for q in b.stream(20)]
+
+    def test_market_prices_bounded_below(self):
+        from repro.workloads import MarketDataGenerator
+        gen = MarketDataGenerator(["X"], seed=1, initial_price=2.0, step=5.0,
+                                  min_price=1.0)
+        assert all(q.price >= 1.0 for q in gen.stream(100))
+
+    def test_threshold_rules_shared_fraction(self):
+        from repro.workloads import make_threshold_rules
+        rules = make_threshold_rules(10, shared_fraction=0.5)
+        keys = {rule.condition.queries[0].canonical_key() for rule in rules}
+        assert len(keys) == 6  # 1 shared + 5 distinct
+
+    def test_make_jobs_deterministic_and_monotone_arrivals(self):
+        from repro.workloads import make_jobs
+        jobs = make_jobs(50, seed=3)
+        arrivals = [job.arrival for job in jobs]
+        assert arrivals == sorted(arrivals)
+        assert all(job.deadline > job.arrival for job in jobs)

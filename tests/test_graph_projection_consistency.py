@@ -1,0 +1,64 @@
+"""Property test: condition-graph answers with projections, ordering, and
+limits must equal the executor's answers for the same query."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Attr,
+    AttrType,
+    AttributeDef,
+    ClassDef,
+    Condition,
+    HiPAC,
+    Query,
+)
+from repro.events.signal import EventSignal
+
+query_shapes = st.fixed_dictionaries({
+    "project": st.sampled_from([None, ("name",), ("name", "qty")]),
+    "order_by": st.sampled_from([None, "qty", "name"]),
+    "descending": st.booleans(),
+    "limit": st.sampled_from([None, 0, 1, 3]),
+    "threshold": st.integers(0, 15),
+})
+
+datasets = st.lists(st.tuples(st.text(alphabet="abc", min_size=1, max_size=2),
+                              st.integers(0, 20)),
+                    max_size=10)
+
+
+def build(shape, data):
+    db = HiPAC(lock_timeout=2.0)
+    db.define_class(ClassDef("Item", (
+        AttributeDef("name", AttrType.STRING, required=True),
+        AttributeDef("qty", AttrType.INT, default=0),
+    )))
+    query = Query("Item", Attr("qty") > shape["threshold"],
+                  project=shape["project"], order_by=shape["order_by"],
+                  descending=shape["descending"], limit=shape["limit"])
+    condition = Condition.of(query)
+    with db.transaction() as txn:
+        db.condition_evaluator.add_rule(condition, txn)
+    with db.transaction() as txn:
+        for name, qty in data:
+            db.create("Item", {"name": name, "qty": qty}, txn)
+    return db, query, condition
+
+
+def rows_as_tuples(result):
+    return [(row.oid, tuple(sorted(row.attrs.items()))) for row in result.rows]
+
+
+class TestGraphAnswersMatchExecutor:
+    @settings(max_examples=80, deadline=None)
+    @given(shape=query_shapes, data=datasets)
+    def test_graph_path_equals_executor_path(self, shape, data):
+        db, query, condition = build(shape, data)
+        signal = EventSignal(kind="external", name="probe", args={})
+        with db.transaction() as txn:
+            outcome = db.condition_evaluator.evaluate(condition, signal, txn)
+        with db.transaction() as txn:
+            direct = db.query(query, txn)
+        assert db.condition_evaluator.stats["graph_answers"] == 1
+        assert rows_as_tuples(outcome.results[0]) == rows_as_tuples(direct)
+        assert outcome.satisfied == bool(direct)

@@ -1,0 +1,198 @@
+"""Tests for the physical object store: extents, deltas, inverses, indexes."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownObjectError
+from repro.objstore.objects import OID
+from repro.objstore.store import CREATE, DELETE, UPDATE, Delta, ObjectStore
+from repro.objstore.types import AttrType, AttributeDef, ClassDef
+
+
+def make_store():
+    store = ObjectStore()
+    store.define_class(ClassDef("Stock", (
+        AttributeDef("symbol", AttrType.STRING, required=True, indexed=True),
+        AttributeDef("price", AttrType.NUMBER, default=0.0),
+    )))
+    return store
+
+
+class TestDDL:
+    def test_define_creates_empty_extent(self):
+        store = make_store()
+        assert store.extent("Stock") == []
+
+    def test_define_creates_declared_indexes(self):
+        store = make_store()
+        assert store.indexes.get("Stock", "symbol") is not None
+        assert store.indexes.get("Stock", "price") is None
+
+    def test_drop_nonempty_extent_rejected(self):
+        store = make_store()
+        store.insert("Stock", {"symbol": "A"})
+        with pytest.raises(SchemaError):
+            store.drop_class("Stock")
+
+    def test_drop_removes_class_and_indexes(self):
+        store = make_store()
+        store.drop_class("Stock")
+        assert not store.schema.has("Stock")
+        assert store.indexes.get("Stock", "symbol") is None
+
+    def test_define_delta_invertible(self):
+        store = ObjectStore()
+        delta = store.define_class(ClassDef("C"))
+        store.apply(delta.inverse())
+        assert not store.schema.has("C")
+        store.apply(delta)
+        assert store.schema.has("C")
+
+
+class TestDML:
+    def test_insert_fills_defaults(self):
+        store = make_store()
+        delta = store.insert("Stock", {"symbol": "A"})
+        record = store.get(delta.oid)
+        assert record.attrs == {"symbol": "A", "price": 0.0}
+
+    def test_insert_missing_required_rejected(self):
+        store = make_store()
+        with pytest.raises(SchemaError):
+            store.insert("Stock", {"price": 5.0})
+
+    def test_insert_unknown_attr_rejected(self):
+        store = make_store()
+        with pytest.raises(SchemaError):
+            store.insert("Stock", {"symbol": "A", "color": "red"})
+
+    def test_insert_type_violation_rejected(self):
+        store = make_store()
+        with pytest.raises(SchemaError):
+            store.insert("Stock", {"symbol": 42})
+
+    def test_oids_unique_and_typed(self):
+        store = make_store()
+        d1 = store.insert("Stock", {"symbol": "A"})
+        d2 = store.insert("Stock", {"symbol": "B"})
+        assert d1.oid != d2.oid
+        assert d1.oid.class_name == "Stock"
+
+    def test_update_changes_and_delta(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A"}).oid
+        delta = store.update(oid, {"price": 9.5})
+        assert delta.kind == UPDATE
+        assert delta.old_attrs["price"] == 0.0
+        assert delta.new_attrs["price"] == 9.5
+        assert store.get(oid).attrs["price"] == 9.5
+
+    def test_update_unknown_attr_rejected(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A"}).oid
+        with pytest.raises(SchemaError):
+            store.update(oid, {"color": "red"})
+
+    def test_delete_removes(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A"}).oid
+        store.delete(oid)
+        assert not store.exists(oid)
+        with pytest.raises(UnknownObjectError):
+            store.get(oid)
+
+    def test_delete_unknown_raises(self):
+        store = make_store()
+        with pytest.raises(UnknownObjectError):
+            store.delete(OID("Stock", 999))
+
+    def test_get_unknown_class_raises(self):
+        store = make_store()
+        with pytest.raises(UnknownObjectError):
+            store.get(OID("Nope", 1))
+
+
+class TestDeltaInverse:
+    def test_create_inverse_is_delete(self):
+        store = make_store()
+        delta = store.insert("Stock", {"symbol": "A"})
+        store.apply(delta.inverse())
+        assert not store.exists(delta.oid)
+
+    def test_delete_inverse_restores_original_oid(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A", "price": 3.0}).oid
+        delta = store.delete(oid)
+        store.apply(delta.inverse())
+        assert store.exists(oid)
+        assert store.get(oid).attrs == {"symbol": "A", "price": 3.0}
+
+    def test_update_inverse_restores_values(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A", "price": 3.0}).oid
+        delta = store.update(oid, {"price": 7.0})
+        store.apply(delta.inverse())
+        assert store.get(oid).attrs["price"] == 3.0
+
+    def test_double_inverse_roundtrip(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A"}).oid
+        delta = store.update(oid, {"price": 1.0})
+        inverse = delta.inverse()
+        assert inverse.inverse().new_attrs == delta.new_attrs
+
+
+class TestIndexMaintenance:
+    def test_insert_indexed(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A"}).oid
+        assert store.indexes.get("Stock", "symbol").lookup("A") == {oid}
+
+    def test_update_moves_index_entry(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A"}).oid
+        store.update(oid, {"symbol": "B"})
+        index = store.indexes.get("Stock", "symbol")
+        assert index.lookup("A") == set()
+        assert index.lookup("B") == {oid}
+
+    def test_delete_removes_index_entry(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A"}).oid
+        store.delete(oid)
+        assert store.indexes.get("Stock", "symbol").lookup("A") == set()
+
+    def test_undo_maintains_index(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A"}).oid
+        delta = store.update(oid, {"symbol": "B"})
+        store.apply(delta.inverse())
+        assert store.indexes.get("Stock", "symbol").lookup("A") == {oid}
+
+
+class TestExtents:
+    def make_hierarchy(self):
+        store = ObjectStore()
+        store.define_class(ClassDef("Base", (AttributeDef("a"),)))
+        store.define_class(ClassDef("Sub", (AttributeDef("b"),), superclass="Base"))
+        return store
+
+    def test_extent_includes_subclasses(self):
+        store = self.make_hierarchy()
+        store.insert("Base", {"a": 1})
+        store.insert("Sub", {"a": 2, "b": 3})
+        assert len(store.extent("Base")) == 2
+        assert len(store.extent("Base", include_subclasses=False)) == 1
+        assert len(store.extent("Sub")) == 1
+
+    def test_extent_size(self):
+        store = self.make_hierarchy()
+        store.insert("Sub", {"a": 1})
+        assert store.extent_size("Base") == 1
+        assert store.extent_size("Base", include_subclasses=False) == 0
+
+    def test_snapshot_state_deep_copies(self):
+        store = make_store()
+        oid = store.insert("Stock", {"symbol": "A"}).oid
+        snap = store.snapshot_state()
+        store.update(oid, {"price": 99.0})
+        assert snap["Stock"][oid]["price"] == 0.0

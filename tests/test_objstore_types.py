@@ -1,0 +1,163 @@
+"""Tests for the schema layer: attribute types, class definitions,
+inheritance resolution."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.objstore.types import (
+    AttrType,
+    AttributeDef,
+    ClassDef,
+    Schema,
+    attributes,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_any_accepts_everything(self):
+        assert check_type(AttrType.ANY, object())
+        assert check_type(AttrType.ANY, None)
+
+    def test_int_rejects_bool(self):
+        assert check_type(AttrType.INT, 5)
+        assert not check_type(AttrType.INT, True)
+
+    def test_number_accepts_int_and_float(self):
+        assert check_type(AttrType.NUMBER, 5)
+        assert check_type(AttrType.NUMBER, 5.5)
+        assert not check_type(AttrType.NUMBER, "5")
+        assert not check_type(AttrType.NUMBER, False)
+
+    def test_string(self):
+        assert check_type(AttrType.STRING, "x")
+        assert not check_type(AttrType.STRING, 5)
+
+    def test_bool(self):
+        assert check_type(AttrType.BOOL, True)
+        assert not check_type(AttrType.BOOL, 1)
+
+    def test_oid(self):
+        from repro.objstore.objects import OID
+        assert check_type(AttrType.OID, OID("C", 1))
+        assert not check_type(AttrType.OID, "C#1")
+
+    def test_list_and_map(self):
+        assert check_type(AttrType.LIST, [1])
+        assert check_type(AttrType.LIST, (1,))
+        assert check_type(AttrType.MAP, {"a": 1})
+        assert not check_type(AttrType.MAP, [1])
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError):
+            check_type("banana", 1)
+
+
+class TestAttributeDef:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("")
+
+    def test_underscore_names_reserved(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("_oid")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("x", "banana")
+
+    def test_validate_required_none(self):
+        attr = AttributeDef("x", AttrType.INT, required=True)
+        with pytest.raises(SchemaError):
+            attr.validate(None)
+
+    def test_validate_optional_none_ok(self):
+        AttributeDef("x", AttrType.INT).validate(None)
+
+    def test_validate_type_mismatch(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("x", AttrType.INT).validate("five")
+
+
+class TestClassDef:
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            ClassDef("C", (AttributeDef("a"), AttributeDef("a")))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ClassDef("")
+
+    def test_attributes_helper_forms(self):
+        attrs = attributes("a", ("b", AttrType.INT), AttributeDef("c"))
+        assert [a.name for a in attrs] == ["a", "b", "c"]
+        assert attrs[1].attr_type == AttrType.INT
+
+    def test_attributes_helper_bad_spec(self):
+        with pytest.raises(SchemaError):
+            attributes(42)
+
+
+class TestSchema:
+    def make(self):
+        schema = Schema()
+        schema.define_class(ClassDef("Base", (AttributeDef("a"),)))
+        schema.define_class(ClassDef("Mid", (AttributeDef("b"),), superclass="Base"))
+        schema.define_class(ClassDef("Leaf", (AttributeDef("c"),), superclass="Mid"))
+        return schema
+
+    def test_duplicate_class_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.define_class(ClassDef("Base"))
+
+    def test_unknown_superclass_rejected(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.define_class(ClassDef("C", superclass="Nope"))
+
+    def test_inherited_attributes_resolved(self):
+        schema = self.make()
+        leaf = schema.get("Leaf")
+        assert set(leaf.all_attributes) == {"a", "b", "c"}
+
+    def test_redefining_inherited_attribute_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.define_class(
+                ClassDef("Bad", (AttributeDef("a"),), superclass="Base"))
+
+    def test_subclasses_transitive(self):
+        schema = self.make()
+        assert set(schema.subclasses("Base")) == {"Base", "Mid", "Leaf"}
+        assert schema.subclasses("Leaf") == ["Leaf"]
+
+    def test_is_subclass(self):
+        schema = self.make()
+        assert schema.is_subclass("Leaf", "Base")
+        assert schema.is_subclass("Base", "Base")
+        assert not schema.is_subclass("Base", "Leaf")
+
+    def test_drop_with_subclass_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.drop_class("Base")
+
+    def test_drop_leaf_ok(self):
+        schema = self.make()
+        schema.drop_class("Leaf")
+        assert not schema.has("Leaf")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema().get("Nope")
+
+    def test_class_names_sorted(self):
+        schema = self.make()
+        assert schema.class_names() == ["Base", "Leaf", "Mid"]
+
+    def test_attribute_lookup_inherited(self):
+        schema = self.make()
+        assert schema.get("Leaf").attribute("a").name == "a"
+        with pytest.raises(SchemaError):
+            schema.get("Base").attribute("c")

@@ -1,0 +1,171 @@
+"""Tests for the predicate AST: evaluation, sugar, structural identity."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.objstore.predicates import (
+    TRUE,
+    And,
+    Attr,
+    Compare,
+    Const,
+    EventArg,
+    Not,
+    Or,
+    conjuncts,
+    equality_lookups,
+)
+
+
+class TestValueExprs:
+    def test_const(self):
+        assert Const(5).evaluate({}, {}) == 5
+
+    def test_attr_reads_object(self):
+        assert Attr("price").evaluate({"price": 3}, {}) == 3
+
+    def test_attr_missing_is_none(self):
+        assert Attr("price").evaluate({}, {}) is None
+
+    def test_event_arg_reads_bindings(self):
+        assert EventArg("new_price").evaluate({}, {"new_price": 7}) == 7
+
+    def test_event_arg_unbound_raises(self):
+        with pytest.raises(QueryError):
+            EventArg("x").evaluate({}, {})
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(QueryError):
+            Attr("")
+        with pytest.raises(QueryError):
+            EventArg("")
+
+    def test_expr_equality_is_structural(self):
+        assert Attr("a") == Attr("a")
+        assert not (Attr("a") == Attr("b"))
+        assert not (Attr("a") == Const("a"))
+        assert hash(Attr("a")) == hash(Attr("a"))
+
+
+class TestComparisonSugar:
+    def test_gt_builds_compare(self):
+        pred = Attr("price") > 50
+        assert isinstance(pred, Compare)
+        assert pred.matches({"price": 51}, {})
+        assert not pred.matches({"price": 50}, {})
+
+    def test_all_operators(self):
+        assert (Attr("x") >= 5).matches({"x": 5}, {})
+        assert (Attr("x") <= 5).matches({"x": 5}, {})
+        assert (Attr("x") < 5).matches({"x": 4}, {})
+        assert (Attr("x") == 5).matches({"x": 5}, {})
+        assert (Attr("x") != 5).matches({"x": 6}, {})
+
+    def test_is_in(self):
+        pred = Attr("sym").is_in(["A", "B"])
+        assert pred.matches({"sym": "A"}, {})
+        assert not pred.matches({"sym": "C"}, {})
+
+    def test_explicit_compare_between_exprs(self):
+        pred = Compare(Attr("price"), ">", EventArg("limit"))
+        assert pred.matches({"price": 10}, {"limit": 5})
+        assert not pred.matches({"price": 4}, {"limit": 5})
+
+
+class TestNullAndTypeSafety:
+    def test_none_never_matches_ordering(self):
+        assert not (Attr("x") > 5).matches({}, {})
+        assert not (Attr("x") < 5).matches({"x": None}, {})
+
+    def test_none_equality(self):
+        assert (Attr("x") == None).matches({}, {})  # noqa: E711
+        assert (Attr("x") != None).matches({"x": 1}, {})  # noqa: E711
+
+    def test_incomparable_types_never_match(self):
+        assert not (Attr("x") > 5).matches({"x": "str"}, {})
+
+    def test_in_with_non_container_never_matches(self):
+        pred = Compare(Attr("x"), "in", Const(5))
+        assert not pred.matches({"x": 1}, {})
+
+
+class TestBooleanCombinators:
+    def test_and(self):
+        pred = (Attr("a") > 1) & (Attr("b") > 1)
+        assert pred.matches({"a": 2, "b": 2}, {})
+        assert not pred.matches({"a": 2, "b": 0}, {})
+
+    def test_or(self):
+        pred = (Attr("a") > 1) | (Attr("b") > 1)
+        assert pred.matches({"a": 0, "b": 2}, {})
+        assert not pred.matches({"a": 0, "b": 0}, {})
+
+    def test_not(self):
+        pred = ~(Attr("a") > 1)
+        assert pred.matches({"a": 0}, {})
+        assert not pred.matches({"a": 2}, {})
+
+    def test_true_predicate(self):
+        assert TRUE.matches({}, {})
+
+    def test_and_requires_two(self):
+        with pytest.raises(QueryError):
+            And(TRUE)
+
+    def test_or_requires_two(self):
+        with pytest.raises(QueryError):
+            Or(TRUE)
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Compare(Attr("a"), "~=", Const(1))
+
+
+class TestStructuralIdentity:
+    def test_identical_predicates_equal(self):
+        assert (Attr("p") > 50) == (Attr("p") > 50)
+        assert hash(Attr("p") > 50) == hash(Attr("p") > 50)
+
+    def test_and_is_order_insensitive(self):
+        left = And(Attr("a") > 1, Attr("b") > 2)
+        right = And(Attr("b") > 2, Attr("a") > 1)
+        assert left == right
+
+    def test_or_is_order_insensitive(self):
+        assert Or(Attr("a") > 1, Attr("b") > 2) == Or(Attr("b") > 2, Attr("a") > 1)
+
+    def test_different_constants_differ(self):
+        assert (Attr("p") > 50) != (Attr("p") > 51)
+
+    def test_attributes_collected(self):
+        pred = And(Attr("a") > 1, Compare(Attr("b"), "==", EventArg("x")))
+        assert pred.attributes() == {"a", "b"}
+        assert pred.event_args() == {"x"}
+
+
+class TestPlannerHelpers:
+    def test_conjuncts_flatten(self):
+        pred = And(Attr("a") > 1, And(Attr("b") > 2, Attr("c") > 3))
+        assert len(conjuncts(pred)) == 3
+
+    def test_conjuncts_single(self):
+        assert conjuncts(TRUE) == (TRUE,)
+
+    def test_equality_lookups_found(self):
+        pred = And(Compare(Attr("sym"), "==", Const("A")), Attr("p") > 1)
+        lookups = equality_lookups(pred)
+        assert set(lookups) == {"sym"}
+        assert lookups["sym"].evaluate({}, {}) == "A"
+
+    def test_equality_lookups_event_arg(self):
+        pred = Compare(Attr("sym"), "==", EventArg("s"))
+        lookups = equality_lookups(pred)
+        assert lookups["sym"].evaluate({}, {"s": "B"}) == "B"
+
+    def test_equality_lookup_reversed_sides(self):
+        pred = Compare(Const("A"), "==", Attr("sym"))
+        assert "sym" in equality_lookups(pred)
+
+    def test_attr_to_attr_not_indexable(self):
+        pred = Compare(Attr("a"), "==", Attr("b"))
+        assert equality_lookups(pred) == {}

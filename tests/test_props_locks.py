@@ -1,0 +1,104 @@
+"""Property-based tests: lock-manager invariants.
+
+After any sequence of acquire / try_acquire / inherit / release operations
+over a small universe of transactions and resources, the lock table must
+never contain two holders with incompatible modes unless one is an ancestor
+of the other (the Moss exception).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LockTimeout, TransactionStateError
+from repro.txn.locks import LockManager, LockMode, LockResource, compatible
+from repro.txn.transaction import Transaction
+
+RESOURCES = [LockResource.for_class("A"), LockResource.for_class("B")]
+MODES = list(LockMode.ALL)
+
+# Steps over transactions indexed 0..3 (t1, t2 top-level; t1c child of t1;
+# t1cc child of t1c) and resources indexed 0..1:
+#   ("acquire", txn, res, mode) — non-blocking semantics via try/timeout
+#   ("inherit", txn)            — inherit child's locks to parent
+#   ("release", txn)
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"), st.integers(0, 3), st.integers(0, 1),
+                  st.sampled_from(MODES)),
+        st.tuples(st.just("inherit"), st.integers(0, 3)),
+        st.tuples(st.just("release"), st.integers(0, 3)),
+    ),
+    max_size=25,
+)
+
+
+def check_invariant(locks, txns):
+    """No two live holders of one resource hold incompatible modes unless
+    related by ancestry."""
+    for resource in RESOURCES:
+        holders = []
+        for txn in txns:
+            mode = locks.mode_held(txn, resource)
+            if mode is not None:
+                holders.append((txn, mode))
+        for i, (ta, ma) in enumerate(holders):
+            for tb, mb in holders[i + 1:]:
+                if compatible(ma, mb):
+                    continue
+                assert ta.is_descendant_of(tb) or tb.is_descendant_of(ta), (
+                    "incompatible co-holders %s(%s) and %s(%s) on %s"
+                    % (ta.txn_id, ma, tb.txn_id, mb, resource))
+
+
+class TestLockInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(ops=steps)
+    def test_no_incompatible_unrelated_holders(self, ops):
+        locks = LockManager(default_timeout=0.01)
+        t1 = Transaction("t1")
+        t2 = Transaction("t2")
+        t1c = Transaction("t1c", t1)
+        t1cc = Transaction("t1cc", t1c)
+        txns = [t1, t2, t1c, t1cc]
+        for op in ops:
+            kind = op[0]
+            txn = txns[op[1]]
+            try:
+                if kind == "acquire":
+                    locks.try_acquire(txn, RESOURCES[op[2]], op[3])
+                elif kind == "inherit":
+                    if txn.parent is not None:
+                        locks.inherit_to_parent(txn)
+                elif kind == "release":
+                    locks.release_all(txn)
+            except (LockTimeout, TransactionStateError):
+                pass
+            check_invariant(locks, txns)
+
+    @settings(max_examples=120, deadline=None)
+    @given(ops=steps)
+    def test_held_locks_bookkeeping_matches_table(self, ops):
+        """Transaction.held_locks and the lock table must stay in sync."""
+        locks = LockManager(default_timeout=0.01)
+        t1 = Transaction("t1")
+        t2 = Transaction("t2")
+        t1c = Transaction("t1c", t1)
+        t1cc = Transaction("t1cc", t1c)
+        txns = [t1, t2, t1c, t1cc]
+        for op in ops:
+            kind = op[0]
+            txn = txns[op[1]]
+            try:
+                if kind == "acquire":
+                    locks.try_acquire(txn, RESOURCES[op[2]], op[3])
+                elif kind == "inherit":
+                    if txn.parent is not None:
+                        locks.inherit_to_parent(txn)
+                elif kind == "release":
+                    locks.release_all(txn)
+            except (LockTimeout, TransactionStateError):
+                pass
+            for txn2 in txns:
+                for resource in RESOURCES:
+                    table_mode = locks.mode_held(txn2, resource)
+                    book_mode = txn2.held_locks.get(resource)
+                    assert table_mode == book_mode

@@ -1,0 +1,142 @@
+"""Property-based end-to-end test: with rules firing (including cascades),
+aborting the top-level transaction still restores the exact prior state —
+store contents, indexes, and condition-graph memories."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Action,
+    Attr,
+    AttrType,
+    AttributeDef,
+    ClassDef,
+    Condition,
+    HiPAC,
+    Query,
+    Rule,
+    on_create,
+    on_update,
+)
+
+
+def build_db():
+    db = HiPAC(lock_timeout=2.0)
+    db.define_class(ClassDef("Item", (
+        AttributeDef("name", AttrType.STRING, required=True, indexed=True),
+        AttributeDef("qty", AttrType.INT, default=0),
+    )))
+    db.define_class(ClassDef("Audit", (
+        AttributeDef("note", AttrType.STRING, default=""),
+    )))
+    # Cascade: every Item create spawns an Audit row; every qty update
+    # touching > 10 spawns another.
+    db.create_rule(Rule(
+        name="audit-create",
+        event=on_create("Item"),
+        condition=Condition.true(),
+        action=Action.call(lambda ctx: ctx.create(
+            "Audit", {"note": "created"})),
+    ))
+    db.create_rule(Rule(
+        name="audit-big",
+        event=on_update("Item", attrs=["qty"]),
+        condition=Condition(
+            guard=lambda bindings, results: bindings.get("new_qty", 0) > 10),
+        action=Action.call(lambda ctx: ctx.create(
+            "Audit", {"note": "big"})),
+    ))
+    # A materialized watcher so the condition graph has a memory to check.
+    db.create_rule(Rule(
+        name="watch-big",
+        event=on_update("Item", attrs=["qty"]),
+        condition=Condition.of(Query("Item", Attr("qty") > 10)),
+        action=Action.call(lambda ctx: None),
+    ))
+    # A deferred observer exercises the commit path too.
+    db.create_rule(Rule(
+        name="deferred-observer",
+        event=on_update("Item", attrs=["qty"]),
+        condition=Condition.true(),
+        action=Action.call(lambda ctx: None),
+        ec_coupling="deferred",
+    ))
+    return db
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.text(alphabet="ab", min_size=1,
+                                             max_size=2),
+                  st.integers(0, 20)),
+        st.tuples(st.just("update"), st.integers(0, 5), st.integers(0, 20)),
+        st.tuples(st.just("delete"), st.integers(0, 5)),
+    ),
+    max_size=8,
+)
+
+
+def apply_ops(db, txn, steps, live):
+    for step in steps:
+        existing = [oid for oid in live if db.store.exists(oid)]
+        if step[0] == "create":
+            live.append(db.create("Item", {"name": step[1],
+                                           "qty": step[2]}, txn))
+        elif step[0] == "update" and existing:
+            db.update(existing[step[1] % len(existing)],
+                      {"qty": step[2]}, txn)
+        elif step[0] == "delete" and existing:
+            db.delete(existing[step[1] % len(existing)], txn)
+
+
+def graph_memory(db):
+    node = db.condition_evaluator.graph.node_for(Query("Item", Attr("qty") > 10))
+    return frozenset(node.memory) if node is not None else frozenset()
+
+
+class TestAbortWithActiveRules:
+    @settings(max_examples=50, deadline=None)
+    @given(setup=ops, doomed=ops)
+    def test_abort_undoes_rule_effects_too(self, setup, doomed):
+        db = build_db()
+        live = []
+        with db.transaction() as txn:
+            apply_ops(db, txn, setup, live)
+        before_state = db.store.snapshot_state()
+        before_memory = graph_memory(db)
+
+        txn = db.begin()
+        apply_ops(db, txn, doomed, live)
+        db.abort(txn)
+
+        assert db.store.snapshot_state() == before_state
+        assert graph_memory(db) == before_memory
+        assert db.locks.resource_count() == 0
+        assert db.transaction_manager.live_transactions() == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(steps=ops)
+    def test_committed_run_is_internally_consistent(self, steps):
+        """After a committed run, audits equal the rule-visible events:
+        one per created item (including re-creations via undo paths is
+        impossible here), one per qty update landing above 10."""
+        db = build_db()
+        live = []
+        expected_audits = 0
+        with db.transaction() as txn:
+            for step in steps:
+                existing = [oid for oid in live if db.store.exists(oid)]
+                if step[0] == "create":
+                    live.append(db.create(
+                        "Item", {"name": step[1], "qty": step[2]}, txn))
+                    expected_audits += 1
+                elif step[0] == "update" and existing:
+                    target = existing[step[1] % len(existing)]
+                    old = db.store.get(target).attrs["qty"]
+                    db.update(target, {"qty": step[2]}, txn)
+                    if step[2] != old and step[2] > 10:
+                        expected_audits += 1
+                elif step[0] == "delete" and existing:
+                    db.delete(existing[step[1] % len(existing)], txn)
+        with db.transaction() as r:
+            audits = db.query(Query("Audit"), r)
+        assert len(audits) == expected_audits

@@ -1,0 +1,95 @@
+"""Property-based tests for schema inheritance and DDL undo."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import AttrType, AttributeDef, ClassDef, HiPAC
+from repro.objstore.types import Schema
+
+# Random single-inheritance forests over up to 6 classes: parent[i] < i or None.
+forests = st.lists(st.one_of(st.none(), st.integers(0, 5)), min_size=1,
+                   max_size=6).map(
+    lambda parents: [None if p is None or p >= i else p
+                     for i, p in enumerate(parents)])
+
+
+def build_schema(parents):
+    schema = Schema()
+    for i, parent in enumerate(parents):
+        schema.define_class(ClassDef(
+            "C%d" % i,
+            (AttributeDef("a%d" % i),),
+            superclass=None if parent is None else "C%d" % parent,
+        ))
+    return schema
+
+
+class TestInheritanceProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(parents=forests)
+    def test_subclasses_consistent_with_is_subclass(self, parents):
+        schema = build_schema(parents)
+        names = ["C%d" % i for i in range(len(parents))]
+        for ancestor in names:
+            subs = set(schema.subclasses(ancestor))
+            for name in names:
+                assert (name in subs) == schema.is_subclass(name, ancestor)
+
+    @settings(max_examples=100, deadline=None)
+    @given(parents=forests)
+    def test_attributes_are_union_along_ancestry(self, parents):
+        schema = build_schema(parents)
+        for i in range(len(parents)):
+            expected = set()
+            j = i
+            while j is not None:
+                expected.add("a%d" % j)
+                j = parents[j]
+            assert set(schema.get("C%d" % i).all_attributes) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(parents=forests)
+    def test_every_class_is_its_own_subclass(self, parents):
+        schema = build_schema(parents)
+        for i in range(len(parents)):
+            assert schema.is_subclass("C%d" % i, "C%d" % i)
+
+
+class TestDDLUndoWithIndexes:
+    def test_aborted_drop_restores_index_contents(self):
+        db = HiPAC(lock_timeout=2.0)
+        db.define_class(ClassDef("C", (
+            AttributeDef("k", AttrType.STRING, indexed=True),)))
+        with db.transaction() as txn:
+            oid = db.create("C", {"k": "x"}, txn)
+        txn = db.begin()
+        db.delete(oid, txn)          # empty the extent...
+        db.drop_class("C", txn)      # ...then drop the class
+        db.abort(txn)
+        index = db.store.indexes.get("C", "k")
+        assert index is not None
+        assert index.lookup("x") == {oid}
+
+    def test_aborted_define_removes_index(self):
+        db = HiPAC(lock_timeout=2.0)
+        txn = db.begin()
+        db.define_class(ClassDef("Tmp", (
+            AttributeDef("k", AttrType.STRING, indexed=True),)), txn)
+        db.abort(txn)
+        assert db.store.indexes.get("Tmp", "k") is None
+        assert not db.store.schema.has("Tmp")
+
+    def test_committed_drop_then_redefine_is_clean(self):
+        db = HiPAC(lock_timeout=2.0)
+        db.define_class(ClassDef("C", (
+            AttributeDef("k", AttrType.STRING, indexed=True),)))
+        with db.transaction() as txn:
+            oid = db.create("C", {"k": "x"}, txn)
+        with db.transaction() as txn:
+            db.delete(oid, txn)
+            db.drop_class("C", txn)
+        db.define_class(ClassDef("C", (
+            AttributeDef("k", AttrType.STRING, indexed=True),)))
+        with db.transaction() as txn:
+            db.create("C", {"k": "y"}, txn)
+        assert db.store.indexes.get("C", "k").lookup("y")
+        assert not db.store.indexes.get("C", "k").lookup("x")

@@ -1,0 +1,141 @@
+"""Tests for time-constrained transaction scheduling (extension)."""
+
+import pytest
+
+from repro.scheduler import (
+    EDF,
+    FIFO,
+    LSF,
+    DeadlineExecutor,
+    Job,
+    compare_policies,
+    simulate,
+)
+from repro.workloads import make_jobs
+
+
+class TestSimulator:
+    def test_single_job(self):
+        result = simulate([Job(0, arrival=0.0, service=1.0, deadline=2.0)], EDF)
+        completion = result.completions[0]
+        assert completion.start == 0.0
+        assert completion.finish == 1.0
+        assert not completion.missed
+
+    def test_fifo_order(self):
+        jobs = [
+            Job(0, arrival=0.0, service=2.0, deadline=100.0),
+            Job(1, arrival=0.1, service=1.0, deadline=2.5),
+        ]
+        result = simulate(jobs, FIFO)
+        by_id = {c.job.job_id: c for c in result.completions}
+        assert by_id[0].start == 0.0
+        assert by_id[1].start == 2.0
+        assert by_id[1].missed
+
+    def test_edf_prefers_urgent(self):
+        jobs = [
+            Job(0, arrival=0.0, service=1.0, deadline=100.0),
+            Job(1, arrival=0.0, service=1.0, deadline=2.0),
+        ]
+        result = simulate(jobs, EDF)
+        by_id = {c.job.job_id: c for c in result.completions}
+        assert by_id[1].start == 0.0
+        assert not by_id[1].missed
+
+    def test_idle_gap_respected(self):
+        jobs = [
+            Job(0, arrival=0.0, service=1.0, deadline=5.0),
+            Job(1, arrival=10.0, service=1.0, deadline=15.0),
+        ]
+        result = simulate(jobs, EDF)
+        assert result.completions[1].start == 10.0
+
+    def test_multiple_servers_parallelize(self):
+        jobs = [Job(i, arrival=0.0, service=1.0, deadline=1.5) for i in range(2)]
+        one = simulate(jobs, FIFO, servers=1)
+        two = simulate(jobs, FIFO, servers=2)
+        assert one.miss_rate == 0.5
+        assert two.miss_rate == 0.0
+
+    def test_lsf_policy_runs(self):
+        jobs = make_jobs(50, seed=1, load=0.8)
+        result = simulate(jobs, LSF)
+        assert len(result.completions) == 50
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            simulate([], "random")
+
+    def test_bad_servers_rejected(self):
+        with pytest.raises(ValueError):
+            simulate([], EDF, servers=0)
+
+    def test_all_jobs_completed_exactly_once(self):
+        jobs = make_jobs(200, seed=5, load=1.1)
+        result = simulate(jobs, EDF)
+        assert sorted(c.job.job_id for c in result.completions) == list(range(200))
+
+    def test_edf_beats_fifo_under_overload(self):
+        """The qualitative claim of the time-constrained scheduling line of
+        work: deadline-aware scheduling misses fewer deadlines than FIFO
+        under load."""
+        jobs = make_jobs(400, seed=13, load=0.95)
+        results = compare_policies(jobs)
+        assert results[EDF].miss_rate <= results[FIFO].miss_rate
+
+    def test_metrics(self):
+        jobs = [Job(0, arrival=0.0, service=2.0, deadline=1.0)]
+        result = simulate(jobs, FIFO)
+        assert result.miss_rate == 1.0
+        assert result.mean_lateness == 1.0
+        assert result.mean_response == 2.0
+
+    def test_empty_jobs(self):
+        result = simulate([], EDF)
+        assert result.miss_rate == 0.0
+
+
+class TestDeadlineExecutor:
+    def test_executes_all_tasks(self):
+        executor = DeadlineExecutor(workers=2)
+        import threading
+        done = []
+        lock = threading.Lock()
+        for i in range(20):
+            executor.submit(float(i), lambda i=i: (lock.acquire(),
+                                                   done.append(i),
+                                                   lock.release()))
+        assert executor.drain(timeout=10.0)
+        assert sorted(done) == list(range(20))
+        executor.shutdown()
+
+    def test_urgent_first_single_worker(self):
+        import threading
+        executor = DeadlineExecutor(workers=1)
+        gate = threading.Event()
+        order = []
+        executor.submit(0.0, gate.wait)  # occupy the worker
+        import time
+        time.sleep(0.05)
+        executor.submit(10.0, lambda: order.append("late"))
+        executor.submit(1.0, lambda: order.append("urgent"))
+        gate.set()
+        assert executor.drain(timeout=10.0)
+        assert order == ["urgent", "late"]
+        executor.shutdown()
+
+    def test_errors_counted_not_fatal(self):
+        executor = DeadlineExecutor(workers=1)
+        executor.submit(0.0, lambda: 1 / 0)
+        executor.submit(1.0, lambda: None)
+        assert executor.drain(timeout=10.0)
+        assert executor.stats["errors"] == 1
+        assert executor.stats["completed"] == 1
+        executor.shutdown()
+
+    def test_submit_after_shutdown_rejected(self):
+        executor = DeadlineExecutor(workers=1)
+        executor.shutdown()
+        with pytest.raises(RuntimeError):
+            executor.submit(0.0, lambda: None)
