@@ -1,0 +1,143 @@
+"""Experiment D1 — dispatch cost for irrelevant operations vs. rule count.
+
+The tentpole claim for the indexed dispatch layer: an operation that no
+programmed spec cares about costs O(1) dict probes, independent of how many
+specs are programmed, while the linear scan pays O(#specs) per operation.
+
+``test_dispatch_scaling_shape`` measures both modes at 10/100/1000 programmed
+specs, asserts the shape (indexed ~flat, >=5x faster than linear at 1000),
+and records the numbers in BENCH_dispatch.json at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import make_db, print_table
+from repro import AttrType, AttributeDef, ClassDef, on_update
+from repro.events.database import DatabaseEventDetector
+from repro.events.signal import EventSignal
+from repro.objstore.types import Schema
+
+RULE_COUNTS = (10, 100, 1000)
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_dispatch.json"
+
+
+def _programmed_detector(n: int, indexed: bool) -> DatabaseEventDetector:
+    schema = Schema()
+    schema.define_class(ClassDef("Stock", (AttributeDef("price"),)))
+    schema.define_class(ClassDef("Noise", (AttributeDef("x"),)))
+    detector = DatabaseEventDetector(schema, indexed_dispatch=indexed)
+    detector.sink = lambda signal: None
+    for i in range(n):
+        detector.define_event(on_update("Stock", attrs=["price", "a%d" % i]))
+    return detector
+
+
+def _irrelevant_signal() -> EventSignal:
+    return EventSignal(kind="database", op="update", class_name="Noise",
+                       old_attrs={"x": 1}, new_attrs={"x": 2})
+
+
+def _time_per_call(fn, loops: int, repeats: int = 5) -> float:
+    """Median per-call time in nanoseconds over ``repeats`` timing runs."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        for _ in range(loops):
+            fn()
+        samples.append((time.perf_counter_ns() - start) / loops)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _end_to_end_db(n: int, indexed: bool):
+    db = make_db(indexed_dispatch=indexed)
+    db.define_class(ClassDef("Noise", (
+        AttributeDef("x", AttrType.NUMBER, default=0.0),)))
+    for i in range(n):
+        db.object_manager.event_detector.define_event(
+            on_update("Stock", attrs=["price", "a%d" % i]))
+    with db.transaction() as txn:
+        oid = db.create("Noise", {"x": 0.0}, txn)
+    return db, oid
+
+
+def test_dispatch_scaling_shape():
+    results = {"observe_ns": {}, "end_to_end_ns": {}}
+
+    # Detector-level: cost of routing one irrelevant update signal.
+    for indexed in (True, False):
+        mode = "indexed" if indexed else "linear"
+        results["observe_ns"][mode] = {}
+        for n in RULE_COUNTS:
+            detector = _programmed_detector(n, indexed)
+            signal = _irrelevant_signal()
+            results["observe_ns"][mode][str(n)] = _time_per_call(
+                lambda: detector.observe(signal), loops=2000)
+
+    # End-to-end: a whole db.update() on a class no spec watches.
+    counter = [0.0]
+    for indexed in (True, False):
+        mode = "indexed" if indexed else "linear"
+        results["end_to_end_ns"][mode] = {}
+        for n in RULE_COUNTS:
+            db, oid = _end_to_end_db(n, indexed)
+            with db.transaction() as txn:
+                def op(db=db, oid=oid, txn=txn):
+                    counter[0] += 1.0
+                    db.update(oid, {"x": counter[0]}, txn)
+                results["end_to_end_ns"][mode][str(n)] = _time_per_call(
+                    op, loops=300)
+
+    observe = results["observe_ns"]
+    ratio_1000 = observe["linear"]["1000"] / observe["indexed"]["1000"]
+    flatness = observe["indexed"]["1000"] / observe["indexed"]["10"]
+    e2e = results["end_to_end_ns"]
+    e2e_ratio_1000 = e2e["linear"]["1000"] / e2e["indexed"]["1000"]
+    results["summary"] = {
+        "observe_linear_over_indexed_at_1000": round(ratio_1000, 1),
+        "observe_indexed_1000_over_10": round(flatness, 2),
+        "end_to_end_linear_over_indexed_at_1000": round(e2e_ratio_1000, 2),
+    }
+
+    rows = [(n,
+             "%.0f" % observe["indexed"][str(n)],
+             "%.0f" % observe["linear"][str(n)],
+             "%.0f" % e2e["indexed"][str(n)],
+             "%.0f" % e2e["linear"][str(n)]) for n in RULE_COUNTS]
+    print_table("D1: irrelevant-update dispatch cost (ns/op)",
+                ("specs", "observe idx", "observe lin",
+                 "end-to-end idx", "end-to-end lin"), rows)
+
+    BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    # The acceptance shape: indexed dispatch is ~flat in rule count and
+    # beats the linear scan by >=5x at 1000 programmed specs.
+    assert ratio_1000 >= 5.0, \
+        "indexed dispatch only %.1fx faster at 1000 specs" % ratio_1000
+    assert flatness <= 3.0, \
+        "indexed observe cost grew %.1fx from 10 to 1000 specs" % flatness
+    assert e2e_ratio_1000 >= 1.5, \
+        "end-to-end speedup at 1000 specs only %.2fx" % e2e_ratio_1000
+
+
+@pytest.mark.parametrize("n", RULE_COUNTS)
+@pytest.mark.parametrize("indexed", [True, False],
+                         ids=["indexed", "linear"])
+def test_irrelevant_update_throughput(n, indexed, benchmark):
+    """pytest-benchmark record of the end-to-end irrelevant update."""
+    db, oid = _end_to_end_db(n, indexed)
+    counter = [0.0]
+    with db.transaction() as txn:
+        def op():
+            counter[0] += 1.0
+            db.update(oid, {"x": counter[0]}, txn)
+        benchmark(op)
+    if indexed:
+        assert db.object_manager.stats["signals_skipped"] > 0

@@ -15,7 +15,9 @@ per-application interfaces (Figure 4.1).
 
 Construction flags select the ablations the benchmarks compare:
 ``use_condition_graph=False`` disables multiple-query sharing;
-``use_indexes=False`` disables index probes; ``concurrent_conditions=True``
+``use_indexes=False`` disables index probes; ``indexed_dispatch=False``
+restores linear scan-all-specs event routing (instead of the discrimination
+index keyed on operation and class); ``concurrent_conditions=True``
 evaluates immediate-group conditions in concurrent sibling subtransactions.
 """
 
@@ -55,6 +57,7 @@ class HiPAC:
                  lock_timeout: float = 10.0,
                  use_condition_graph: bool = True,
                  use_indexes: bool = True,
+                 indexed_dispatch: bool = True,
                  config: Optional[RuleManagerConfig] = None,
                  signal_transaction_events: bool = True) -> None:
         self.tracer = tracing.Tracer()
@@ -64,15 +67,19 @@ class HiPAC:
         self.transaction_manager = TransactionManager(self.locks, self.tracer)
         self.transaction_manager.signal_transaction_events = signal_transaction_events
         self.object_manager = ObjectManager(self.store, self.transaction_manager,
-                                            self.tracer, self.clock)
+                                            self.tracer, self.clock,
+                                            indexed_dispatch=indexed_dispatch)
         self.object_manager.executor.use_indexes = use_indexes
         self.condition_evaluator = ConditionEvaluator(
             self.object_manager, self.tracer, use_graph=use_condition_graph)
         self.temporal_detector = TemporalEventDetector(
-            self.clock, tracer=self.tracer, schema=self.store.schema)
-        self.external_detector = ExternalEventDetector(tracer=self.tracer)
+            self.clock, tracer=self.tracer, schema=self.store.schema,
+            indexed_dispatch=indexed_dispatch)
+        self.external_detector = ExternalEventDetector(
+            tracer=self.tracer, indexed_dispatch=indexed_dispatch)
         self.composite_detector = CompositeEventDetector(
-            tracer=self.tracer, schema=self.store.schema)
+            tracer=self.tracer, schema=self.store.schema,
+            indexed_dispatch=indexed_dispatch)
         self.applications = ApplicationRegistry(self.tracer)
         self.rule_manager = RuleManager(
             self.object_manager, self.transaction_manager,
@@ -81,8 +88,12 @@ class HiPAC:
             tracer=self.tracer, clock=self.clock,
             applications=self.applications, config=config)
         # Figure 5.1 wiring: every detector reports to the Rule Manager; the
-        # Transaction Manager signals transaction termination to it.
+        # Transaction Manager signals transaction termination to it.  The
+        # database detector additionally delivers all reports of one
+        # operation in a single batched call (one firing partition, §6.2).
         self.object_manager.event_detector.sink = self.rule_manager.signal_event
+        self.object_manager.event_detector.sink_batch = \
+            self.rule_manager.signal_event_batch
         self.temporal_detector.sink = self.rule_manager.signal_event
         self.external_detector.sink = self.rule_manager.signal_event
         self.composite_detector.sink = self.rule_manager.signal_event
@@ -282,9 +293,26 @@ class HiPAC:
         return self.rule_manager.firings
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Aggregated component statistics (benchmark reporting)."""
+        """Aggregated component statistics (benchmark reporting).
+
+        The ``"events"`` section flattens each detector's counters under a
+        ``<detector>_<counter>`` key — including the dispatch-index
+        ``index_hits`` / ``index_misses`` / ``fast_path`` counters of the
+        database detectors and the interest-set feed counters of the
+        temporal/composite detectors.
+        """
+        events: Dict[str, int] = {}
+        for name, detector in (
+                ("database", self.object_manager.event_detector),
+                ("transaction", self.rule_manager.txn_detector),
+                ("temporal", self.temporal_detector),
+                ("external", self.external_detector),
+                ("composite", self.composite_detector)):
+            for key, value in detector.stats.items():
+                events["%s_%s" % (name, key)] = value
         return {
             "rules": dict(self.rule_manager.stats),
+            "events": events,
             "transactions": dict(self.transaction_manager.stats),
             "locks": dict(self.locks.stats),
             "objects": dict(self.object_manager.stats),

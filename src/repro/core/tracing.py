@@ -53,6 +53,10 @@ class Trace:
     """An ordered list of :class:`TraceRecord` with protocol-checking helpers."""
 
     records: List[TraceRecord] = field(default_factory=list)
+    #: named event counters accumulated while tracing was on (dispatch-index
+    #: hits/misses/fast-path skips and similar non-call observations that
+    #: have no Figure 5.1 edge to be recorded under)
+    counters: Dict[str, int] = field(default_factory=dict)
 
     def edges(self) -> List[Tuple[str, str, str]]:
         """Return ``(source, target, operation)`` triples in call order."""
@@ -109,6 +113,7 @@ class Tracer:
     def __init__(self) -> None:
         self.enabled = False
         self._records: List[TraceRecord] = []
+        self._counters: Dict[str, int] = {}
         self._seq = 0
         self._lock = threading.Lock()
 
@@ -120,10 +125,23 @@ class Tracer:
             self._seq += 1
             self._records.append(TraceRecord(self._seq, source, target, operation, detail))
 
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named counter (no-op when disabled).
+
+        Counters capture hot-path observations that are not inter-component
+        calls — dispatch-index hits/misses, fast-path skips — without
+        inventing trace edges outside Figure 5.1.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
     def start(self) -> None:
         """Enable tracing and clear any previous records."""
         with self._lock:
             self._records = []
+            self._counters = {}
             self._seq = 0
             self.enabled = True
 
@@ -131,14 +149,15 @@ class Tracer:
         """Disable tracing and return everything recorded since :meth:`start`."""
         with self._lock:
             self.enabled = False
-            trace = Trace(list(self._records))
+            trace = Trace(list(self._records), dict(self._counters))
             self._records = []
+            self._counters = {}
         return trace
 
     def snapshot(self) -> Trace:
         """Return a copy of the records so far without stopping."""
         with self._lock:
-            return Trace(list(self._records))
+            return Trace(list(self._records), dict(self._counters))
 
 
 class NullTracer(Tracer):

@@ -40,11 +40,49 @@ from repro.events.signal import EventSignal
 from repro.events.spec import (
     CompositeEventSpec,
     Conjunction,
+    DatabaseEventSpec,
     Disjunction,
     EventSpec,
+    ExternalEventSpec,
     Sequence,
+    TemporalEventSpec,
 )
 from repro.objstore.types import Schema
+
+
+def interest_keys(spec: EventSpec):
+    """The ``(kind, discriminator)`` keys under which a spec's automaton (or
+    baseline matcher) wants to see signals.
+
+    Database members subscribe to their operation kind, external members to
+    their name, temporal members to all temporal signals; a composite spec
+    contributes the keys of its primitive members.  Composite *baselines*
+    (matched by identity against composite occurrences) subscribe to the
+    composite kind.
+    """
+    if isinstance(spec, CompositeEventSpec):
+        keys = {("composite", None)}
+        for member in spec.primitives():
+            keys |= interest_keys(member)
+        return keys
+    if isinstance(spec, DatabaseEventSpec):
+        return {("database", spec.op)}
+    if isinstance(spec, ExternalEventSpec):
+        return {("external", spec.name)}
+    if isinstance(spec, TemporalEventSpec):
+        return {("temporal", None)}
+    return {("database", None), ("external", None),
+            ("temporal", None), ("composite", None)}  # unknown: want all
+
+
+def signal_interest_key(signal: EventSignal):
+    """The interest key one signal presents (matched against the sets
+    maintained from :func:`interest_keys`)."""
+    if signal.kind == "database":
+        return ("database", signal.op)
+    if signal.kind == "external":
+        return ("external", signal.name)
+    return (signal.kind, None)
 
 
 class _Automaton:
@@ -138,19 +176,50 @@ class CompositeEventDetector(EventDetector):
 
     def __init__(self, sink: Optional[EventSink] = None,
                  tracer: Optional[tracing.Tracer] = None,
-                 schema: Optional[Schema] = None) -> None:
-        super().__init__(sink, tracer)
+                 schema: Optional[Schema] = None, *,
+                 indexed_dispatch: bool = True) -> None:
+        super().__init__(sink, tracer, indexed_dispatch=indexed_dispatch)
         self._schema = schema
         self._automata: Dict[EventSpec, _Automaton] = {}
+        #: (kind, op/name) -> number of automata with a member wanting it
+        self._interest: Dict[tuple, int] = {}
         self._mutex = threading.RLock()
+        self.stats.update({"feeds": 0, "feeds_skipped": 0})
 
     def _installed(self, spec: CompositeEventSpec) -> None:  # type: ignore[override]
         with self._mutex:
             self._automata[spec] = _Automaton(spec, self._schema)
+            for key in interest_keys(spec):
+                self._interest[key] = self._interest.get(key, 0) + 1
 
     def _removed(self, spec: CompositeEventSpec) -> None:  # type: ignore[override]
         with self._mutex:
             self._automata.pop(spec, None)
+            for key in interest_keys(spec):
+                remaining = self._interest.get(key, 0) - 1
+                if remaining <= 0:
+                    self._interest.pop(key, None)
+                else:
+                    self._interest[key] = remaining
+
+    def wants(self, signal: EventSignal) -> bool:
+        """True when some programmed automaton has a member that could be
+        advanced by ``signal`` (the Rule Manager's subscription-driven feed:
+        irrelevant signals never reach the automata).
+
+        Conservative — keyed on ``(kind, op/name)`` only; finer scoping
+        (class, attributes) is still checked by the automata themselves.
+        With ``indexed_dispatch=False`` every signal is fed (ablation).
+        """
+        if not self.indexed_dispatch:
+            return True
+        if signal.kind == "composite":
+            return False  # composite occurrences never feed other composites
+        if signal_interest_key(signal) in self._interest:
+            return True
+        self.stats["feeds_skipped"] += 1
+        self._tracer.bump("composite_feed_skipped")
+        return False
 
     def observe(self, signal: EventSignal) -> List[EventSignal]:
         """Feed one signal to every automaton; report recognized composites.
@@ -161,6 +230,7 @@ class CompositeEventDetector(EventDetector):
             # composite-of-composite at the detector boundary; nesting is
             # expressed inside a single spec).
             return []
+        self.stats["feeds"] += 1
         with self._mutex:
             automata = list(self._automata.values())
         occurrences: List[EventSignal] = []

@@ -21,13 +21,18 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ExternalEventDetector(EventDetector):
-    """Registry and signalling point for application-defined events."""
+    """Registry and signalling point for application-defined events.
+
+    Dispatch is indexed by event name: signalling never scans the
+    registration table, however many events applications have defined.
+    """
 
     accepts = ExternalEventSpec
 
     def __init__(self, sink: Optional[EventSink] = None,
-                 tracer: Optional[tracing.Tracer] = None) -> None:
-        super().__init__(sink, tracer)
+                 tracer: Optional[tracing.Tracer] = None, *,
+                 indexed_dispatch: bool = True) -> None:
+        super().__init__(sink, tracer, indexed_dispatch=indexed_dispatch)
         self._by_name: Dict[str, ExternalEventSpec] = {}
 
     def _installed(self, spec: ExternalEventSpec) -> None:  # type: ignore[override]

@@ -23,10 +23,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.clock import Clock
 from repro.core import tracing
+from repro.events.composite import interest_keys, signal_interest_key
 from repro.events.detectors import EventDetector, EventSink
 from repro.events.matching import matches_primitive
 from repro.events.signal import EventSignal
@@ -41,13 +42,19 @@ class TemporalEventDetector(EventDetector):
 
     def __init__(self, clock: Clock, sink: Optional[EventSink] = None,
                  tracer: Optional[tracing.Tracer] = None,
-                 schema: Optional[Schema] = None) -> None:
-        super().__init__(sink, tracer)
+                 schema: Optional[Schema] = None, *,
+                 indexed_dispatch: bool = True) -> None:
+        super().__init__(sink, tracer, indexed_dispatch=indexed_dispatch)
         self._clock = clock
         self._schema = schema
         self._heap: List[Tuple[float, int, TemporalEventSpec]] = []
         self._seq = itertools.count()
         self._mutex = threading.RLock()
+        #: specs with a baseline (the only ones observe_baseline must scan)
+        self._baseline_specs: List[TemporalEventSpec] = []
+        #: (kind, op/name) -> number of baselines wanting that signal
+        self._baseline_interest: Dict[tuple, int] = {}
+        self.stats.update({"baseline_feeds": 0, "baseline_feeds_skipped": 0})
         clock.subscribe(self._on_clock)
 
     def close(self) -> None:
@@ -66,23 +73,51 @@ class TemporalEventDetector(EventDetector):
                 assert spec.period is not None
                 self._push(now + spec.offset + spec.period, spec)
             # relative and baseline-periodic events wait for the baseline
+            if spec.baseline is not None:
+                self._baseline_specs.append(spec)
+                for key in interest_keys(spec.baseline):
+                    self._baseline_interest[key] = \
+                        self._baseline_interest.get(key, 0) + 1
 
     def _removed(self, spec: TemporalEventSpec) -> None:  # type: ignore[override]
         with self._mutex:
             self._heap = [entry for entry in self._heap if entry[2] != spec]
             heapq.heapify(self._heap)
+            if spec.baseline is not None:
+                if spec in self._baseline_specs:
+                    self._baseline_specs.remove(spec)
+                for key in interest_keys(spec.baseline):
+                    remaining = self._baseline_interest.get(key, 0) - 1
+                    if remaining <= 0:
+                        self._baseline_interest.pop(key, None)
+                    else:
+                        self._baseline_interest[key] = remaining
+
+    def wants_baseline(self, signal: EventSignal) -> bool:
+        """True when some programmed relative/periodic spec's baseline could
+        match ``signal`` — the Rule Manager's subscription-driven feed; most
+        signals skip :meth:`observe_baseline` entirely.
+
+        Conservative (keyed on ``(kind, op/name)`` only); with
+        ``indexed_dispatch=False`` every signal is fed (ablation)."""
+        if not self.indexed_dispatch:
+            return True
+        if signal_interest_key(signal) in self._baseline_interest:
+            return True
+        self.stats["baseline_feeds_skipped"] += 1
+        self._tracer.bump("temporal_baseline_feed_skipped")
+        return False
 
     def _push(self, due: float, spec: TemporalEventSpec) -> None:
         heapq.heappush(self._heap, (due, next(self._seq), spec))
 
     def observe_baseline(self, signal: EventSignal) -> None:
         """Schedule timers for relative/periodic specs whose baseline is
-        ``signal``'s event.  Called by the Rule Manager for every processed
-        signal."""
+        ``signal``'s event.  Called by the Rule Manager for signals in the
+        baseline interest set (every processed signal when unindexed)."""
+        self.stats["baseline_feeds"] += 1
         with self._mutex:
-            specs = [spec for spec in self._registrations
-                     if isinstance(spec, TemporalEventSpec)
-                     and spec.baseline is not None]
+            specs = list(self._baseline_specs)
         for spec in specs:
             if not self._baseline_matches(spec.baseline, signal):
                 continue

@@ -58,7 +58,8 @@ class ObjectManager:
 
     def __init__(self, store: ObjectStore, txn_manager: TransactionManager,
                  tracer: Optional[tracing.Tracer] = None,
-                 clock: Optional[Clock] = None) -> None:
+                 clock: Optional[Clock] = None, *,
+                 indexed_dispatch: bool = True) -> None:
         self.store = store
         self.txns = txn_manager
         self._tracer = tracer or tracing.Tracer()
@@ -68,9 +69,11 @@ class ObjectManager:
         #: sink is wired to the Rule Manager by the facade
         self.event_detector = DatabaseEventDetector(
             store.schema, tracer=self._tracer,
-            component=tracing.OBJECT_MANAGER)
+            component=tracing.OBJECT_MANAGER,
+            indexed_dispatch=indexed_dispatch)
         self._delta_listeners: List[DeltaListener] = []
-        self.stats = {"operations": 0, "queries": 0, "reads": 0}
+        self.stats = {"operations": 0, "queries": 0, "reads": 0,
+                      "signals_skipped": 0}
 
     def add_delta_listener(self, listener: DeltaListener) -> None:
         """Register a listener called with every applied delta."""
@@ -256,6 +259,13 @@ class ObjectManager:
         txn.log_undo(DeltaUndo(self.store, delta))
         for listener in self._delta_listeners:
             listener(txn, delta)
+        # Dispatch-index pre-check: when no programmed spec can match this
+        # (op, class) the signal is never even constructed — an operation on
+        # a class without rules pays a couple of dict probes, not a scan.
+        if not self.event_detector.relevant(delta.kind, delta.class_name):
+            self.stats["signals_skipped"] += 1
+            self._tracer.bump("om_signal_skipped")
+            return
         signal = EventSignal(
             kind="database",
             timestamp=self._clock.now(),
@@ -287,6 +297,9 @@ class ObjectManager:
         RULE_MANAGER source).
         """
         if source in self._INTERNAL_SOURCES:
+            return
+        if not self.event_detector.relevant(op, class_name):
+            self.stats["signals_skipped"] += 1
             return
         signal = EventSignal(
             kind="database",

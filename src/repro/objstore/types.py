@@ -168,10 +168,28 @@ class Schema:
 
     The schema itself is versioned by the store (DDL runs under transactions
     like any other operation); :class:`Schema` only validates and resolves.
+
+    Hierarchy queries — :meth:`subclasses`, :meth:`lineage`,
+    :meth:`is_subclass` — are memoized: event dispatch consults them on the
+    critical path of every database operation (paper §5.3/§6.2), so they
+    must not re-walk the class graph per signal.  Every schema mutation
+    (define/drop and the transaction-undo paths) bumps :attr:`version` and
+    drops the caches.
     """
 
     def __init__(self) -> None:
         self._classes: Dict[str, ClassDef] = {}
+        #: monotonically increasing schema-change counter (cache epoch)
+        self.version = 0
+        self._subclass_cache: Dict[str, Tuple[str, ...]] = {}
+        self._lineage_cache: Dict[str, Tuple[str, ...]] = {}
+        self._isa_cache: Dict[Tuple[str, str], bool] = {}
+
+    def _invalidate(self) -> None:
+        self.version += 1
+        self._subclass_cache = {}
+        self._lineage_cache = {}
+        self._isa_cache = {}
 
     def define_class(self, class_def: ClassDef) -> ClassDef:
         """Register ``class_def``, resolving inherited attributes.
@@ -194,6 +212,7 @@ class Schema:
             resolved[attr.name] = attr
         class_def.all_attributes = resolved
         self._classes[class_def.name] = class_def
+        self._invalidate()
         return class_def
 
     def drop_class(self, name: str) -> ClassDef:
@@ -206,15 +225,18 @@ class Schema:
                     % (name, other.name)
                 )
         del self._classes[name]
+        self._invalidate()
         return class_def
 
     def restore_class(self, class_def: ClassDef) -> None:
         """Re-register a previously resolved class (transaction undo path)."""
         self._classes[class_def.name] = class_def
+        self._invalidate()
 
     def unregister_class(self, name: str) -> None:
         """Remove a class without dependency checks (transaction undo path)."""
         self._classes.pop(name, None)
+        self._invalidate()
 
     def has(self, name: str) -> bool:
         """Return True if class ``name`` is defined."""
@@ -233,6 +255,9 @@ class Schema:
 
     def subclasses(self, name: str) -> List[str]:
         """Return ``name`` plus every (transitive) subclass, in definition order."""
+        cached = self._subclass_cache.get(name)
+        if cached is not None:
+            return list(cached)
         self.get(name)
         result = [name]
         frontier = {name}
@@ -244,13 +269,39 @@ class Schema:
                     frontier.add(other.name)
                     result.append(other.name)
                     changed = True
+        self._subclass_cache[name] = tuple(result)
+        return result
+
+    def lineage(self, name: str) -> Tuple[str, ...]:
+        """Return ``name`` followed by its (transitive) superclasses.
+
+        The ancestor chain a class-scoped event index probes: an operation
+        on ``name`` can satisfy specs scoped to any class in this tuple.
+        """
+        cached = self._lineage_cache.get(name)
+        if cached is not None:
+            return cached
+        chain: List[str] = []
+        current: Optional[str] = name
+        while current is not None:
+            chain.append(current)
+            current = self.get(current).superclass
+        result = tuple(chain)
+        self._lineage_cache[name] = result
         return result
 
     def is_subclass(self, name: str, ancestor: str) -> bool:
         """Return True if ``name`` equals or transitively inherits ``ancestor``."""
+        key = (name, ancestor)
+        cached = self._isa_cache.get(key)
+        if cached is not None:
+            return cached
+        result = False
         current: Optional[str] = name
         while current is not None:
             if current == ancestor:
-                return True
+                result = True
+                break
             current = self.get(current).superclass
-        return False
+        self._isa_cache[key] = result
+        return result

@@ -127,7 +127,9 @@ class RuleManager:
         #: ... acts as an event detector", §5.2); its sink is this manager
         self.txn_detector = DatabaseEventDetector(
             object_manager.store.schema, sink=self.signal_event,
-            tracer=self._tracer, component=tracing.TRANSACTION_MANAGER)
+            tracer=self._tracer, component=tracing.TRANSACTION_MANAGER,
+            indexed_dispatch=object_manager.event_detector.indexed_dispatch)
+        self.txn_detector.sink_batch = self.signal_event_batch
 
         self._rules: Dict[str, Rule] = {}
         self._rules_by_oid: Dict[OID, Rule] = {}
@@ -206,7 +208,7 @@ class RuleManager:
         signal = EventSignal(kind="external", name="fire:%s" % name,
                              args=dict(args or {}), txn=txn,
                              timestamp=self._clock.now())
-        self._process_firings([rule], signal, manual=True)
+        self._process_firings([(rule, signal)], manual=True)
 
     def rules_in_group(self, group: str) -> List[str]:
         """Names of the rules belonging to ``group`` (paper §4.2), sorted."""
@@ -250,28 +252,56 @@ class RuleManager:
         operation that caused the signal is suspended until this returns
         (the call is synchronous).
         """
+        self.signal_event_batch([signal])
+
+    def signal_event_batch(self, signals: List[EventSignal]) -> None:
+        """Report all detector matches of *one* operation in a single call.
+
+        The database detector matches every programmed spec in one pass and
+        delivers the spec-tagged reports together (each carries its own
+        ``signal.spec``); this method processes the *union* of the triggered
+        rules — one priority sort, one coupling partition (§6.2) — instead
+        of re-partitioning once per spec-tagged copy.  The underlying
+        operation feeds rule-object management and the temporal/composite
+        detectors exactly once, however many specs it matched, and those
+        feeds are subscription-driven: signals outside a detector's interest
+        set never reach it.
+        """
+        if not signals:
+            return
         depth = getattr(self._depth, "value", 0)
         if depth >= self.config.max_cascade_depth:
             raise RuleError(
                 "rule cascade exceeded max depth %d (signal %s)"
-                % (self.config.max_cascade_depth, signal.describe())
+                % (self.config.max_cascade_depth, signals[0].describe())
             )
         self._depth.value = depth + 1
         try:
-            self.stats["signals"] += 1
-            if signal.kind == "database" and signal.class_name == RULE_CLASS:
-                self._manage_rule_object(signal)
+            self.stats["signals"] += len(signals)
+            # All signals in a batch are spec-tagged copies of one
+            # operation; per-operation processing uses the first.
+            base = signals[0]
+            if base.kind == "database" and base.class_name == RULE_CLASS:
+                self._manage_rule_object(base)
             # Feed the temporal detector (baselines of relative/periodic
-            # events) and the composite automata.  Composite occurrences
-            # recognized here re-enter signal_event recursively.
-            if self._temporal is not None:
-                self._temporal.observe_baseline(signal)
-            if self._composite is not None:
-                self._composite.observe(signal)
-            rules = self._triggered_rules(signal)
-            if rules:
-                self.stats["triggered"] += len(rules)
-                self._process_firings(rules, signal)
+            # events) and the composite automata — once per operation.
+            # Composite occurrences recognized here re-enter
+            # signal_event recursively.
+            if self._temporal is not None and \
+                    self._temporal.wants_baseline(base):
+                self._temporal.observe_baseline(base)
+            if self._composite is not None and self._composite.wants(base):
+                self._composite.observe(base)
+            entries: List[Tuple[Rule, EventSignal]] = []
+            for signal in signals:
+                for rule in self._triggered_rules(signal):
+                    entries.append((rule, signal))
+            if entries:
+                self.stats["triggered"] += len(entries)
+                # One global firing order across all matched specs.
+                entries.sort(key=lambda entry: (-entry[0].priority,
+                                                entry[0].name))
+                self._process_firings(entries)
         finally:
             self._depth.value = depth
 
@@ -477,26 +507,30 @@ class RuleManager:
         if signal.spec is None:
             return []
         names = self._event_map.get(signal.spec, ())
-        rules = [self._rules[name] for name in sorted(names)
-                 if name in self._rules and self._rules[name].enabled]
-        rules.sort(key=lambda rule: (-rule.priority, rule.name))
-        return rules
+        return [self._rules[name] for name in sorted(names)
+                if name in self._rules and self._rules[name].enabled]
 
-    def _process_firings(self, rules: List[Rule], signal: EventSignal, *,
+    def _process_firings(self, entries: List[Tuple[Rule, EventSignal]], *,
                          manual: bool = False) -> None:
         """Partition triggered rules by E-C coupling and schedule them
-        (paper §6.2)."""
-        txn = signal.txn
-        separate = [r for r in rules if r.ec_coupling == SEPARATE]
-        deferred = [r for r in rules if r.ec_coupling == DEFERRED]
-        immediate = [r for r in rules if r.ec_coupling == IMMEDIATE]
+        (paper §6.2).
 
-        for rule in separate:
+        ``entries`` pairs each triggered rule with the signal that triggered
+        it (its own spec-tagged copy of the operation), already in global
+        firing order.  All signals of one call describe the same operation,
+        so they share one transaction.
+        """
+        txn = entries[0][1].txn
+        separate = [e for e in entries if e[0].ec_coupling == SEPARATE]
+        deferred = [e for e in entries if e[0].ec_coupling == DEFERRED]
+        immediate = [e for e in entries if e[0].ec_coupling == IMMEDIATE]
+
+        for rule, signal in separate:
             self._launch_separate_firing(rule, signal)
 
         if txn is not None:
             target = txn.top_level() if self.config.defer_to_top_level else txn
-            for rule in deferred:
+            for rule, signal in deferred:
                 self.stats["deferred_queued"] += 1
                 target.add_deferred_condition((rule, signal))
                 self.firings.append(RuleFiring(
@@ -519,7 +553,7 @@ class RuleManager:
                                                  internal=True)
             detached = True
         try:
-            self._fire_immediate_group(immediate, signal, host)
+            self._fire_immediate_group(immediate, host)
         except BaseException:
             if detached:
                 self._txns.abort_transaction(host, source=tracing.RULE_MANAGER)
@@ -527,21 +561,21 @@ class RuleManager:
         if detached:
             self._txns.commit_transaction(host, source=tracing.RULE_MANAGER)
 
-    def _fire_immediate_group(self, rules: List[Rule], signal: EventSignal,
+    def _fire_immediate_group(self, entries: List[Tuple[Rule, EventSignal]],
                               host: Transaction) -> None:
         """Evaluate all conditions first (each in a subtransaction of the
         triggering transaction), then execute the satisfied rules' actions
         per their C-A coupling (paper §6.2)."""
-        outcomes: List[Tuple[Rule, RuleFiring, ConditionOutcome]] = []
-        if self.config.concurrent_conditions and len(rules) > 1:
-            outcomes = self._evaluate_concurrently(rules, signal, host)
+        outcomes: List[Tuple[Rule, EventSignal, RuleFiring, ConditionOutcome]] = []
+        if self.config.concurrent_conditions and len(entries) > 1:
+            outcomes = self._evaluate_concurrently(entries, host)
         else:
             memo: Memo = {}
-            for rule in rules:
+            for rule, signal in entries:
                 firing, outcome = self._evaluate_condition(rule, signal, host,
                                                            memo, IMMEDIATE)
-                outcomes.append((rule, firing, outcome))
-        for rule, firing, outcome in outcomes:
+                outcomes.append((rule, signal, firing, outcome))
+        for rule, signal, firing, outcome in outcomes:
             if not outcome.satisfied:
                 continue
             self._route_action(rule, firing, outcome, signal, host)
@@ -566,22 +600,23 @@ class RuleManager:
         else:  # separate
             self._launch_separate_action(rule, firing, outcome, signal)
 
-    def _evaluate_concurrently(self, rules, signal, host):
+    def _evaluate_concurrently(self, entries, host):
         """Concurrent sibling condition subtransactions (paper §3.2, §6.2)."""
-        results: List[Optional[Tuple[Rule, RuleFiring, ConditionOutcome]]] = (
-            [None] * len(rules))
+        results: List[Optional[Tuple[Rule, EventSignal, RuleFiring,
+                                     ConditionOutcome]]] = [None] * len(entries)
         errors: List[BaseException] = []
 
-        def worker(index: int, rule: Rule) -> None:
+        def worker(index: int, rule: Rule, signal: EventSignal) -> None:
             try:
                 firing, outcome = self._evaluate_condition(
                     rule, signal, host, None, IMMEDIATE)
-                results[index] = (rule, firing, outcome)
+                results[index] = (rule, signal, firing, outcome)
             except BaseException as exc:  # collected, re-raised by caller
                 errors.append(exc)
 
-        threads = [threading.Thread(target=worker, args=(i, rule), daemon=True)
-                   for i, rule in enumerate(rules)]
+        threads = [threading.Thread(target=worker, args=(i, rule, signal),
+                                    daemon=True)
+                   for i, (rule, signal) in enumerate(entries)]
         for thread in threads:
             thread.start()
         for thread in threads:
