@@ -1,0 +1,98 @@
+"""Experiment R1 — durability overhead: commit throughput by WAL mode.
+
+ISSUE 2 acceptance: record commit throughput for in-memory vs WAL
+(flush-to-OS) vs WAL+fsync (force-to-stable-storage at every top-level
+commit, the §6.3 durability point) into BENCH_wal.json, and show the
+default in-memory mode pays nothing for the new hook points.
+
+Shape asserted:
+
+* in-memory is at least as fast as WAL+fsync (the fsync is real I/O);
+* all three modes commit the same number of transactions (durability does
+  not change semantics);
+* the WAL modes actually logged / forced what they claim.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import make_db, print_table
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_wal.json"
+
+TXNS = 300
+UPDATES_PER_TXN = 3
+
+
+def _run_commits(db, oids) -> float:
+    """Time ``TXNS`` small update transactions; returns seconds elapsed."""
+    start = time.perf_counter()
+    for i in range(TXNS):
+        with db.transaction() as txn:
+            for j in range(UPDATES_PER_TXN):
+                db.update(oids[(i + j) % len(oids)],
+                          {"price": float(i * UPDATES_PER_TXN + j)}, txn)
+    return time.perf_counter() - start
+
+
+def _bench_mode(mode: str, tmp: Path) -> dict:
+    if mode == "in-memory":
+        db = make_db()
+    else:
+        db = make_db(durability="wal", data_dir=tmp / mode,
+                     wal_fsync=(mode == "wal+fsync"))
+    oids = []
+    with db.transaction() as txn:
+        for i in range(8):
+            oids.append(db.create(
+                "Stock", {"symbol": "S%04d" % i, "price": 0.0}, txn))
+    elapsed = _run_commits(db, oids)
+    stats = db.stats()
+    result = {
+        "seconds": round(elapsed, 6),
+        "commits_per_sec": round(TXNS / elapsed, 1),
+        "top_level_committed": stats["transactions"]["top_level_committed"],
+        "wal_records": stats["recovery"]["wal_records"],
+        "wal_fsyncs": stats["recovery"]["wal_fsyncs"],
+    }
+    if db.wal is not None:
+        db.close()
+    return result
+
+
+def test_wal_overhead_shape():
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for mode in ("in-memory", "wal", "wal+fsync"):
+            results[mode] = _bench_mode(mode, Path(tmp))
+
+    print_table(
+        "Commit throughput by durability mode "
+        "(%d txns x %d updates)" % (TXNS, UPDATES_PER_TXN),
+        ("mode", "commits/s", "wal records", "fsyncs"),
+        [(mode, results[mode]["commits_per_sec"],
+          results[mode]["wal_records"], results[mode]["wal_fsyncs"])
+         for mode in results])
+
+    BASELINE_PATH.write_text(json.dumps({
+        "experiment": "wal_overhead",
+        "txns": TXNS,
+        "updates_per_txn": UPDATES_PER_TXN,
+        "modes": results,
+    }, indent=2, sort_keys=True) + "\n")
+
+    # Same semantics in every mode.
+    committed = {mode: r["top_level_committed"] for mode, r in results.items()}
+    assert len(set(committed.values())) == 1, committed
+    # The durable modes really logged; only the fsync mode forced.
+    assert results["in-memory"]["wal_records"] == 0
+    assert results["wal"]["wal_records"] > TXNS
+    assert results["wal"]["wal_fsyncs"] == 0
+    assert results["wal+fsync"]["wal_fsyncs"] >= TXNS
+    # Durability is not free: forcing the log cannot beat skipping it.
+    assert (results["in-memory"]["commits_per_sec"]
+            >= results["wal+fsync"]["commits_per_sec"])

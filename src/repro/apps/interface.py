@@ -30,7 +30,6 @@ from repro.objstore.objects import OID
 from repro.objstore.operations import Operation
 from repro.objstore.predicates import Bindings
 from repro.objstore.query import Query, QueryResult
-from repro.objstore.types import ClassDef
 from repro.txn.manager import TransactionManager
 from repro.txn.transaction import Transaction
 

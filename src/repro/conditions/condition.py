@@ -17,7 +17,7 @@ condition-graph materialization but evaluated like any other.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConditionError
 from repro.objstore.joins import JoinQuery

@@ -26,8 +26,7 @@ across rules within one signal-processing round.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.objstore.objects import OID
 from repro.objstore.predicates import Predicate

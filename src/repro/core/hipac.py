@@ -24,7 +24,7 @@ evaluates immediate-group conditions in concurrent sibling subtransactions.
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.apps.interface import ApplicationInterface
 from repro.apps.registry import ApplicationRegistry
@@ -34,7 +34,7 @@ from repro.core import tracing
 from repro.events.composite import CompositeEventDetector
 from repro.events.external import ExternalEventDetector
 from repro.events.signal import EventSignal
-from repro.events.spec import EventSpec, ExternalEventSpec
+from repro.events.spec import ExternalEventSpec
 from repro.events.temporal import TemporalEventDetector
 from repro.objstore.manager import ObjectManager
 from repro.objstore.objects import OID
@@ -42,7 +42,7 @@ from repro.objstore.operations import DefineClass, DropClass, Operation
 from repro.objstore.predicates import Bindings
 from repro.objstore.query import Query, QueryResult
 from repro.objstore.store import ObjectStore
-from repro.objstore.types import AttributeDef, ClassDef
+from repro.objstore.types import ClassDef
 from repro.rules.manager import RuleManager, RuleManagerConfig
 from repro.rules.rule import Rule, rule_class_def
 from repro.txn.locks import LockManager
@@ -59,7 +59,12 @@ class HiPAC:
                  use_indexes: bool = True,
                  indexed_dispatch: bool = True,
                  config: Optional[RuleManagerConfig] = None,
-                 signal_transaction_events: bool = True) -> None:
+                 signal_transaction_events: bool = True,
+                 durability: Optional[str] = None,
+                 data_dir: Optional[Any] = None,
+                 wal_fsync: bool = True,
+                 checkpoint_interval: Optional[int] = None,
+                 rule_library: Optional[Any] = None) -> None:
         self.tracer = tracing.Tracer()
         self.clock = clock or VirtualClock()
         self.store = ObjectStore()
@@ -99,6 +104,13 @@ class HiPAC:
         self.composite_detector.sink = self.rule_manager.signal_event
         self.transaction_manager.event_sink = self.rule_manager.transaction_event
         self._bootstrap()
+        #: durability wiring (None / "wal"); see _enable_durability
+        self.wal: Optional[Any] = None
+        self.checkpointer: Optional[Any] = None
+        self._recovery_report: Optional[Any] = None
+        self.durability = durability
+        self._enable_durability(durability, data_dir, wal_fsync,
+                                checkpoint_interval, rule_library)
 
     def _bootstrap(self) -> None:
         """Create the ``HiPAC::Rule`` system class and program the Rule
@@ -108,6 +120,63 @@ class HiPAC:
         self.transaction_manager.commit_transaction(txn)
         for spec in self.rule_manager.bootstrap_specs():
             self.object_manager.event_detector.define_event(spec)
+
+    # ---------------------------------------------------------- durability
+
+    def _enable_durability(self, durability: Optional[str],
+                           data_dir: Optional[Any], wal_fsync: bool,
+                           checkpoint_interval: Optional[int],
+                           rule_library: Optional[Any]) -> None:
+        """Attach the recovery subsystem (after bootstrap, so the system
+        class definition is never logged: every instance re-creates it).
+
+        If ``data_dir`` already holds durable state it is replayed into
+        this instance first, then immediately checkpointed — truncating
+        the old WAL so the fresh transaction-id sequence cannot collide
+        with logged ids from the previous incarnation.
+        """
+        if durability is None:
+            return
+        if durability != "wal":
+            raise ValueError("unknown durability mode: %r" % durability)
+        if data_dir is None:
+            raise ValueError("durability='wal' requires data_dir")
+        from repro.recovery.checkpoint import Checkpointer
+        from repro.recovery.recover import has_durable_state, replay_into
+        from repro.recovery.wal import WriteAheadLog
+
+        report = None
+        if has_durable_state(data_dir):
+            report = replay_into(self, data_dir, rules=rule_library)
+        wal = WriteAheadLog(data_dir, fsync=wal_fsync, tracer=self.tracer,
+                            start_lsn=report.last_lsn if report else 0)
+        self.wal = wal
+        self.transaction_manager.wal = wal
+        self.object_manager.wal = wal
+        self.rule_manager.wal = wal
+        self.checkpointer = Checkpointer(self, wal,
+                                         interval_records=checkpoint_interval)
+        self.transaction_manager.checkpointer = self.checkpointer
+        self._recovery_report = report
+        if report is not None:
+            self.checkpointer.checkpoint()
+
+    def checkpoint(self) -> bool:
+        """Take a checkpoint now (durable mode only); returns True if one
+        was written — False while transactions are live."""
+        if self.checkpointer is None:
+            raise ValueError("checkpoint requires durability='wal'")
+        return self.checkpointer.checkpoint()
+
+    def recovery_report(self) -> Optional[Any]:
+        """The :class:`~repro.recovery.recover.RecoveryReport` of this
+        instance's startup replay, or None if it started fresh."""
+        return self._recovery_report
+
+    def close(self) -> None:
+        """Flush and close the WAL (no-op for in-memory instances)."""
+        if self.wal is not None:
+            self.wal.close()
 
     # ------------------------------------------------------------- schema
 
@@ -310,6 +379,30 @@ class HiPAC:
                 ("composite", self.composite_detector)):
             for key, value in detector.stats.items():
                 events["%s_%s" % (name, key)] = value
+        recovery = {
+            "wal_records": 0, "wal_fsyncs": 0, "wal_commits_forced": 0,
+            "wal_append_failures": 0, "checkpoints": 0,
+            "checkpoints_skipped": 0, "replays": 0, "replayed_records": 0,
+            "replayed_spheres": 0, "discarded_spheres": 0,
+            "rules_rebound": 0, "rules_unbound": 0,
+        }
+        if self.wal is not None:
+            recovery["wal_records"] = self.wal.stats["records"]
+            recovery["wal_fsyncs"] = self.wal.stats["fsyncs"]
+            recovery["wal_commits_forced"] = self.wal.stats["commits_forced"]
+            recovery["wal_append_failures"] = \
+                self.wal.stats["append_failures"]
+        if self.checkpointer is not None:
+            recovery["checkpoints"] = self.checkpointer.stats["checkpoints"]
+            recovery["checkpoints_skipped"] = self.checkpointer.stats["skipped"]
+        if self._recovery_report is not None:
+            report = self._recovery_report
+            recovery["replays"] = 1
+            recovery["replayed_records"] = report.replayed_records
+            recovery["replayed_spheres"] = report.replayed_spheres
+            recovery["discarded_spheres"] = report.discarded_spheres
+            recovery["rules_rebound"] = report.rules_rebound
+            recovery["rules_unbound"] = len(report.rules_unbound)
         return {
             "rules": dict(self.rule_manager.stats),
             "events": events,
@@ -319,4 +412,5 @@ class HiPAC:
             "conditions": dict(self.condition_evaluator.stats),
             "condition_graph": dict(self.condition_evaluator.graph.stats),
             "applications": dict(self.applications.stats),
+            "recovery": recovery,
         }

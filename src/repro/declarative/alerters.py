@@ -15,7 +15,7 @@ failures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Union
 
 from repro.conditions.condition import Condition
 from repro.events.spec import EventSpec

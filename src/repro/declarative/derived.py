@@ -15,7 +15,7 @@ for the affected target object(s).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List
 
 from repro.conditions.condition import Condition
 from repro.errors import RuleError

@@ -85,6 +85,8 @@ __all__ = [
     "OP_BEGIN",
     "OP_COMMIT",
     "OP_ABORT",
+    "OP_READ",
+    "OP_QUERY",
     "DML_OPS",
     "DDL_OPS",
     "TXN_OPS",

@@ -26,7 +26,7 @@ Manager can share detector programming between rules with the same event.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import EventError

@@ -18,7 +18,7 @@ verify which path ran.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import Iterable, List, Optional
 
 from repro.errors import QueryError
 from repro.objstore.objects import ObjectRecord

@@ -27,7 +27,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.clock import Clock, VirtualClock
 from repro.core import tracing
-from repro.errors import QueryError, SchemaError
+from repro.errors import SchemaError
 from repro.events.database import DatabaseEventDetector
 from repro.events.signal import EventSignal
 from repro.objstore.executor import Plan, QueryExecutor
@@ -72,6 +72,9 @@ class ObjectManager:
             component=tracing.OBJECT_MANAGER,
             indexed_dispatch=indexed_dispatch)
         self._delta_listeners: List[DeltaListener] = []
+        #: write-ahead log; None while the system runs in-memory only
+        #: (attached by the facade when durability is enabled)
+        self.wal: Optional[Any] = None
         self.stats = {"operations": 0, "queries": 0, "reads": 0,
                       "signals_skipped": 0}
 
@@ -257,6 +260,12 @@ class ObjectManager:
 
     def _record_and_signal(self, delta: Delta, txn: Transaction, user: str) -> None:
         txn.log_undo(DeltaUndo(self.store, delta))
+        # Write-ahead: the delta reaches the log before the operation's
+        # signal can trigger further (immediate) rule work.  If the append
+        # raises, the undo record above rolls this operation back with the
+        # rest of the transaction.
+        if self.wal is not None:
+            self.wal.log_delta(delta, txn)
         for listener in self._delta_listeners:
             listener(txn, delta)
         # Dispatch-index pre-check: when no programmed spec can match this

@@ -22,7 +22,7 @@ comparison-operator sugar ``Attr("price") > 50``.
 from __future__ import annotations
 
 import operator
-from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Tuple
 
 from repro.errors import QueryError
 from repro.util.canonical import freeze

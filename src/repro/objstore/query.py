@@ -14,7 +14,7 @@ same query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Any, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.errors import QueryError
 from repro.objstore.objects import OID

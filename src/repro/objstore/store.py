@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import SchemaError, UnknownObjectError
 from repro.objstore.index import IndexSet
@@ -102,6 +102,16 @@ class ObjectStore:
     def new_oid(self, class_name: str) -> OID:
         """Allocate a fresh OID for an instance of ``class_name``."""
         return OID(class_name, self._oid_counter.next_int())
+
+    def next_oid_number(self) -> int:
+        """The number the next OID allocation would use (checkpointing)."""
+        return self._oid_counter.peek()
+
+    def ensure_oid_floor(self, number: int) -> None:
+        """Never allocate an OID number ``<= number`` again (recovery:
+        replayed objects keep their original OIDs; new allocations must not
+        collide with them)."""
+        self._oid_counter.advance_past(number)
 
     def insert(self, class_name: str, attrs: Dict[str, Any],
                oid: Optional[OID] = None) -> Delta:

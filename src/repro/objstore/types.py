@@ -16,7 +16,7 @@ value, and optional attributes admit ``None``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SchemaError
 

@@ -1,0 +1,82 @@
+"""Crash-injection harness for the recovery tests.
+
+Two complementary fault shapes:
+
+* :class:`FaultingWAL` — a :class:`~repro.recovery.wal.WriteAheadLog` whose
+  device "dies" after N successful appends (every later append raises
+  :class:`InjectedCrash` and the log stays dead), exercising the live
+  system's reaction to a failing log at commit/abort time.
+
+* :func:`truncated_copy` — copies a durable directory keeping only the
+  first N WAL records, simulating a process killed mid-write; the sweep
+  test recovers every prefix and compares against the committed-prefix
+  oracle.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.recovery.checkpoint import CHECKPOINT_FILENAME
+from repro.recovery.wal import WAL_FILENAME, WriteAheadLog
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by a FaultingWAL once its configured fault point is reached."""
+
+
+class FaultingWAL(WriteAheadLog):
+    """A WAL whose append path fails permanently after ``fail_after``
+    records have been written.
+
+    The failure happens *after* the Nth record is durable (the record is
+    written, then the device dies), matching a crash between two appends.
+    """
+
+    def __init__(self, data_dir: Any, *, fail_after: int,
+                 fsync: bool = False, **kwargs: Any) -> None:
+        super().__init__(data_dir, fsync=fsync, **kwargs)
+        self.fail_after = fail_after
+        self.crashed = False
+
+    def append(self, rtype: str, data: Optional[Dict[str, Any]] = None, *,
+               txn_id: Optional[str] = None, sphere: Optional[str] = None,
+               force: bool = False) -> int:
+        with self._lock:
+            if self.crashed or self.stats["records"] >= self.fail_after:
+                self.crashed = True
+                raise InjectedCrash(
+                    "WAL device failed after %d records" % self.fail_after)
+            return super().append(rtype, data, txn_id=txn_id, sphere=sphere,
+                                  force=force)
+
+
+def truncated_copy(src_dir: Any, dst_dir: Any, keep_records: int) -> Path:
+    """Copy a durable directory, keeping only the first ``keep_records``
+    WAL records (the checkpoint, if any, is copied intact)."""
+    src = Path(src_dir)
+    dst = Path(dst_dir)
+    dst.mkdir(parents=True, exist_ok=True)
+    checkpoint = src / CHECKPOINT_FILENAME
+    if checkpoint.exists():
+        shutil.copy2(checkpoint, dst / CHECKPOINT_FILENAME)
+    wal_src = src / WAL_FILENAME
+    lines = (wal_src.read_text(encoding="utf-8").splitlines()
+             if wal_src.exists() else [])
+    (dst / WAL_FILENAME).write_text(
+        "".join(line + "\n" for line in lines[:keep_records]),
+        encoding="utf-8")
+    return dst
+
+
+def corrupt_record(data_dir: Any, record_index: int) -> None:
+    """Flip bytes inside one WAL record in place (0-based index), leaving
+    later records intact — replay must stop at the corrupt record."""
+    path = Path(data_dir) / WAL_FILENAME
+    lines = path.read_text(encoding="utf-8").splitlines()
+    line = lines[record_index]
+    middle = len(line) // 2
+    lines[record_index] = line[:middle] + "#corrupt#" + line[middle:]
+    path.write_text("".join(item + "\n" for item in lines), encoding="utf-8")

@@ -1,0 +1,251 @@
+"""Write-ahead log: append-only JSONL with a CRC per record.
+
+The paper's execution model makes top-level transactions "atomic,
+serializable, and permanent" (§3.1); this log supplies *permanent*.  Every
+state change — object create/update/delete, class define/drop, rule
+create/drop, transaction begin/commit/abort — is appended as one JSON line
+before (or, for compensations, exactly as) it is applied, and the log is
+**forced before ``commit_transaction`` returns** for top-level transactions
+(§6.3 ordering: deferred rule work runs first, inside the committing
+transaction, so its deltas precede the commit record; the commit record is
+then the last thing made durable before commit processing resumes).
+
+Record format (one JSON object per line, keys sorted)::
+
+    {"lsn": 17, "type": "delta", "txn": "t5", "sphere": "t3",
+     "data": {...}, "crc": 2774362813}
+
+``sphere`` is the id of the record's *top-level* transaction: recovery
+groups deltas by sphere and applies a sphere's records only when its
+top-level commit record is present in the durable prefix.  ``crc`` is the
+CRC-32 of the record's canonical JSON without the ``crc`` field; readers
+stop at the first record that fails the check (a torn tail write), so the
+replayed prefix is exactly the set of fully-durable records.
+
+Nested-transaction handling: a nested commit is *not* a durability point
+(its effects become permanent only through its committed top-level
+ancestor), so its commit record is informational.  A nested **abort**
+inside a live sphere appends *compensation* delta records — the inverses
+the in-memory undo replay applies — so replaying a committed sphere's
+records front-to-back reproduces exactly the state the sphere committed,
+aborted subtransactions included (the ARIES CLR idea, flattened to redo).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.core import tracing
+from repro.recovery.serialize import encode_delta
+from repro.txn.undo import DeltaUndo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objstore.store import Delta
+    from repro.txn.transaction import Transaction
+
+WAL_FILENAME = "wal.jsonl"
+
+# Record types.
+TXN_BEGIN = "begin"
+TXN_COMMIT = "commit"
+TXN_ABORT = "abort"
+DELTA = "delta"
+RULE_CREATE = "rule-create"
+RULE_DROP = "rule-drop"
+
+
+def _record_crc(record: Dict[str, Any]) -> int:
+    payload = json.dumps(
+        {key: record[key] for key in ("lsn", "type", "txn", "sphere", "data")},
+        sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+def read_wal_records(path: Path) -> Tuple[List[Dict[str, Any]], int]:
+    """Read the valid prefix of a WAL file.
+
+    Returns ``(records, discarded)`` where ``discarded`` counts the lines
+    dropped after the first malformed / CRC-failing / out-of-order record
+    (a torn tail: everything past the first bad record is untrusted).
+    """
+    if not path.exists():
+        return [], 0
+    lines = path.read_text(encoding="utf-8").splitlines()
+    records: List[Dict[str, Any]] = []
+    last_lsn = 0
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            crc = record["crc"]
+            lsn = record["lsn"]
+        except (ValueError, KeyError, TypeError):
+            return records, len(lines) - index
+        if _record_crc(record) != crc or lsn <= last_lsn:
+            return records, len(lines) - index
+        last_lsn = lsn
+        records.append(record)
+    return records, 0
+
+
+class WriteAheadLog:
+    """Append-only durable log for one HiPAC instance.
+
+    ``fsync=True`` forces the OS buffers to stable storage at every
+    top-level commit (the §6.3 durability point); ``fsync=False`` still
+    flushes every record to the OS (surviving a process crash, not a power
+    failure) — the mode the overhead benchmark calls plain "WAL".
+    """
+
+    def __init__(self, data_dir: Any, *, fsync: bool = True,
+                 tracer: Optional[tracing.Tracer] = None,
+                 start_lsn: int = 0) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.data_dir / WAL_FILENAME
+        self.fsync_on_commit = fsync
+        self.failed = False
+        self._tracer = tracer or tracing.Tracer()
+        self._lock = threading.RLock()
+        self.stats = {"records": 0, "fsyncs": 0, "commits_forced": 0,
+                      "append_failures": 0}
+        existing, _ = read_wal_records(self.path)
+        self._lsn = max(start_lsn, existing[-1]["lsn"] if existing else 0)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended (or pre-existing) record."""
+        with self._lock:
+            return self._lsn
+
+    # ------------------------------------------------------------- append
+
+    def append(self, rtype: str, data: Optional[Dict[str, Any]] = None, *,
+               txn_id: Optional[str] = None, sphere: Optional[str] = None,
+               force: bool = False) -> int:
+        """Append one record; returns its LSN.  ``force`` additionally
+        fsyncs (when the log is configured to fsync at all)."""
+        with self._lock:
+            self._lsn += 1
+            record = {"lsn": self._lsn, "type": rtype, "txn": txn_id,
+                      "sphere": sphere, "data": data or {}}
+            record["crc"] = _record_crc(record)
+            self._file.write(json.dumps(record, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+            self._file.flush()
+            self.stats["records"] += 1
+            self._tracer.bump("wal_append")
+            if force:
+                self.force()
+            return self._lsn
+
+    def append_safe(self, rtype: str, data: Optional[Dict[str, Any]] = None, *,
+                    txn_id: Optional[str] = None,
+                    sphere: Optional[str] = None) -> bool:
+        """Best-effort append for abort-path records.
+
+        A failing log device must not break in-memory abort processing: a
+        sphere whose compensation cannot be logged can never durably commit
+        either (its commit force would fail on the same device), so a
+        missing compensation record is unrecoverable-state-safe.
+        """
+        try:
+            self.append(rtype, data, txn_id=txn_id, sphere=sphere)
+            return True
+        except Exception:
+            self.failed = True
+            self.stats["append_failures"] += 1
+            self._tracer.bump("wal_append_failed")
+            return False
+
+    def force(self) -> None:
+        """Force buffered records to stable storage (fsync when enabled)."""
+        with self._lock:
+            self._file.flush()
+            if self.fsync_on_commit:
+                os.fsync(self._file.fileno())
+                self.stats["fsyncs"] += 1
+                self._tracer.bump("wal_fsync")
+
+    # ---------------------------------------------------- domain appenders
+
+    def log_begin(self, txn: "Transaction") -> None:
+        """Record transaction creation."""
+        self.append(TXN_BEGIN,
+                    {"parent": txn.parent.txn_id if txn.parent else None,
+                     "label": txn.label},
+                    txn_id=txn.txn_id, sphere=txn.top_level().txn_id)
+
+    def log_commit(self, txn: "Transaction") -> None:
+        """Record a commit; for a top-level transaction this is the §6.3
+        durability point — the record is forced before the call returns."""
+        top = txn.parent is None
+        self.append(TXN_COMMIT, {"top": top},
+                    txn_id=txn.txn_id, sphere=txn.top_level().txn_id,
+                    force=top)
+        if top:
+            self.stats["commits_forced"] += 1
+
+    def log_abort(self, txn: "Transaction") -> None:
+        """Record an abort, preceded — for nested transactions inside a
+        live sphere — by compensation records mirroring the inverse deltas
+        the in-memory undo replay is about to apply.  Best-effort (see
+        :meth:`append_safe`)."""
+        sphere = txn.top_level().txn_id
+        if txn.parent is not None:
+            for record in reversed(txn.undo_log):
+                if isinstance(record, DeltaUndo):
+                    self.append_safe(
+                        DELTA, encode_delta(record.delta.inverse()),
+                        txn_id=txn.txn_id, sphere=sphere)
+        self.append_safe(TXN_ABORT, {"top": txn.parent is None},
+                         txn_id=txn.txn_id, sphere=sphere)
+
+    def log_delta(self, delta: "Delta", txn: "Transaction") -> None:
+        """Record one applied store delta (object DML or class DDL)."""
+        self.append(DELTA, encode_delta(delta), txn_id=txn.txn_id,
+                    sphere=txn.top_level().txn_id)
+
+    def log_rule_create(self, name: str, attrs: Dict[str, Any],
+                        txn: "Transaction") -> None:
+        """Record rule registration (informational: the rule's
+        ``HiPAC::Rule`` row travels as an ordinary object delta)."""
+        self.append(RULE_CREATE, {"name": name, "attrs": attrs},
+                    txn_id=txn.txn_id, sphere=txn.top_level().txn_id)
+
+    def log_rule_drop(self, name: str, txn: "Transaction") -> None:
+        """Record rule deletion (informational, like rule creation)."""
+        self.append(RULE_DROP, {"name": name},
+                    txn_id=txn.txn_id, sphere=txn.top_level().txn_id)
+
+    # ---------------------------------------------------------- lifecycle
+
+    def reset(self) -> None:
+        """Truncate the log (after a checkpoint absorbed its records).
+
+        LSNs keep increasing across resets; the checkpoint stores the LSN
+        it covers, so replay can skip any record a checkpoint already
+        reflects even if a crash lands between checkpoint write and
+        truncation.
+        """
+        with self._lock:
+            self._file.close()
+            self._file = open(self.path, "w", encoding="utf-8")
+            self._file.flush()
+            if self.fsync_on_commit:
+                os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Flush and close the log file."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()

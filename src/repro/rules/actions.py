@@ -23,7 +23,7 @@ the argument bindings obtained from the event signal" (§2.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core import tracing

@@ -12,7 +12,7 @@ satisfied.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 

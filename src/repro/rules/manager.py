@@ -131,6 +131,9 @@ class RuleManager:
             indexed_dispatch=object_manager.event_detector.indexed_dispatch)
         self.txn_detector.sink_batch = self.signal_event_batch
 
+        #: write-ahead log; None while the system runs in-memory only
+        #: (attached by the facade when durability is enabled)
+        self.wal: Optional[Any] = None
         self._rules: Dict[str, Rule] = {}
         self._rules_by_oid: Dict[OID, Rule] = {}
         self._event_map: Dict[EventSpec, Set[str]] = {}
@@ -230,6 +233,25 @@ class RuleManager:
         for name in names:
             self.disable_rule(name, txn, source=source)
         return names
+
+    def reattach_rule(self, rule: Rule, oid: OID, enabled: bool,
+                      txn: Transaction) -> Rule:
+        """Re-register a rule against its recovered ``HiPAC::Rule`` row.
+
+        Used by crash recovery: the row (carrying ``oid`` and the stored
+        ``enabled`` flag) was restored by checkpoint/WAL replay at the
+        store level, without signals, so the in-memory registration —
+        condition graph, event detectors, event map — must be rebuilt from
+        the caller's rule object.
+        """
+        if rule.name in self._rules:
+            raise RuleError("a rule named %r already exists" % rule.name)
+        if rule.event is None:
+            rule.event = derive_event_spec(rule.condition.queries)
+        rule.enabled = bool(enabled)
+        self._register_rule(rule, oid, txn)
+        self._sync_detector_enablement(rule)
+        return rule
 
     def get_rule(self, name: str) -> Rule:
         """Return the rule named ``name`` or raise :class:`RuleError`."""
@@ -391,6 +413,8 @@ class RuleManager:
         txn.log_undo(CallbackUndo(
             lambda: self._forget_rule(rule),
             label="forget rule %s" % rule.name))
+        if self.wal is not None:
+            self.wal.log_rule_create(rule.name, rule.store_attrs(), txn)
 
     def _unregister_rule(self, rule: Rule, txn: Transaction) -> None:
         assert rule.event is not None
@@ -403,6 +427,8 @@ class RuleManager:
         txn.log_undo(CallbackUndo(
             lambda: self._remember_rule(rule),
             label="re-register rule %s" % rule.name))
+        if self.wal is not None:
+            self.wal.log_rule_drop(rule.name, txn)
 
     def _forget_rule(self, rule: Rule) -> None:
         for spec in self._mapping_specs(rule.event):

@@ -22,8 +22,8 @@ take place through rules firing."
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List
 
 from repro.apps.interface import ApplicationInterface
 from repro.objstore.objects import OID

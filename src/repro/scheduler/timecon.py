@@ -24,10 +24,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 FIFO = "fifo"
 EDF = "edf"

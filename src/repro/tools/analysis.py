@@ -32,7 +32,6 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.events.spec import (
-    CompositeEventSpec,
     DatabaseEventSpec,
     EventSpec,
     ExternalEventSpec,

@@ -9,7 +9,6 @@ answer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.rules.firing import FiringLog, RuleFiring

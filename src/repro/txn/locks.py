@@ -210,7 +210,19 @@ class LockManager:
                 remaining = deadline - _time.monotonic()
                 signalled = remaining > 0 and self._cond.wait(timeout=remaining)
                 self._waits_for.pop(txn, None)
+                # The last holder's release_all may have dropped the table
+                # entry while we slept; re-resolve so the eventual grant
+                # lands in the live table, not a discarded entry object.
+                entry = self._table.get(resource)
+                if entry is None:
+                    entry = _LockEntry()
+                    self._table[resource] = entry
                 if not signalled:
+                    # The deadline passed, but the conflicting holder may
+                    # have released while we were being scheduled: a final
+                    # re-check avoids a spurious timeout on a now-free lock.
+                    if not self._conflicting_holders(txn, entry, mode):
+                        break
                     self.stats["timeouts"] += 1
                     raise LockTimeout(
                         "transaction %s timed out waiting for %s on %s"
@@ -228,6 +240,12 @@ class LockManager:
 
     def try_acquire(self, txn: "Transaction", resource: LockResource, mode: str) -> bool:
         """Non-blocking acquire; returns False instead of waiting."""
+        if txn.is_finished():
+            # Same guard as acquire: a finished transaction's release_all
+            # already ran, so any lock granted here would leak forever.
+            raise TransactionStateError(
+                "transaction %s is %s; cannot lock" % (txn.txn_id, txn.state)
+            )
         with self._cond:
             entry = self._table.get(resource)
             if entry is None:

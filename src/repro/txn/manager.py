@@ -18,11 +18,11 @@ benchmarks.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core import tracing
 from repro.errors import TransactionStateError
-from repro.txn.locks import LockManager, LockResource
+from repro.txn.locks import LockManager
 from repro.txn.transaction import (
     ABORTED,
     ACTIVE,
@@ -50,6 +50,10 @@ class TransactionManager:
         self.event_sink: Optional[TransactionEventSink] = None
         #: whether begin/commit/abort produce rule-triggering events
         self.signal_transaction_events = True
+        #: write-ahead log and checkpointer; None while the system runs
+        #: in-memory only (attached by the facade when durability is on)
+        self.wal: Optional[Any] = None
+        self.checkpointer: Optional[Any] = None
         self._mutex = threading.Lock()
         self._live: Dict[str, Transaction] = {}
         self.stats = {"created": 0, "committed": 0, "aborted": 0,
@@ -75,6 +79,14 @@ class TransactionManager:
         with self._mutex:
             self._live[txn.txn_id] = txn
             self.stats["created"] += 1
+        if self.wal is not None:
+            try:
+                self.wal.log_begin(txn)
+            except BaseException:
+                # Log device failed before the transaction did anything:
+                # retire it so it is not stranded in the live set.
+                self.abort_transaction(txn, source=tracing.TRANSACTION_MANAGER)
+                raise
         if self.event_sink is not None and self.signal_transaction_events:
             self._signal("begin", txn)
         return txn
@@ -116,22 +128,37 @@ class TransactionManager:
             txn.state = ACTIVE
             self.abort_transaction(txn, source=tracing.TRANSACTION_MANAGER)
             raise
-        # Resume commit processing.
-        if txn.parent is not None:
-            self.locks.inherit_to_parent(txn)
-            txn.parent.adopt_child_log(txn)
-            # Permanence of nested effects awaits the ancestors: hand hooks up.
-            txn.parent.on_commit.extend(txn.on_commit)
-            txn.parent.on_abort.extend(txn.on_abort)
-            txn.on_commit = []
-            txn.on_abort = []
-            txn.state = COMMITTED
-        else:
-            txn.state = COMMITTED
-            txn.undo_log = []
-            self.locks.release_all(txn)
-            with self._mutex:
-                self.stats["top_level_committed"] += 1
+        # Resume commit processing.  If any resume step raises — the WAL
+        # force most plausibly, but also lock inheritance — the transaction
+        # must not be stranded in COMMITTING with its locks held: undo its
+        # effects and surface the failure as an abort.
+        try:
+            # Write-ahead: the commit record is forced (fsync for a
+            # top-level transaction) before any effect becomes permanent.
+            # Deferred rule work already ran above, inside the committing
+            # transaction (§6.3), so its deltas precede this record.
+            if self.wal is not None:
+                self.wal.log_commit(txn)
+            if txn.parent is not None:
+                self.locks.inherit_to_parent(txn)
+                txn.parent.adopt_child_log(txn)
+                # Permanence of nested effects awaits the ancestors: hand
+                # hooks up.
+                txn.parent.on_commit.extend(txn.on_commit)
+                txn.parent.on_abort.extend(txn.on_abort)
+                txn.on_commit = []
+                txn.on_abort = []
+                txn.state = COMMITTED
+            else:
+                txn.state = COMMITTED
+                txn.undo_log = []
+                self.locks.release_all(txn)
+                with self._mutex:
+                    self.stats["top_level_committed"] += 1
+        except BaseException:
+            txn.state = ACTIVE
+            self.abort_transaction(txn, source=tracing.TRANSACTION_MANAGER)
+            raise
         with self._mutex:
             self.stats["committed"] += 1
             self._live.pop(txn.txn_id, None)
@@ -139,6 +166,8 @@ class TransactionManager:
             for hook in txn.on_commit:
                 hook(txn)
             txn.on_commit = []
+            if self.checkpointer is not None:
+                self.checkpointer.maybe_checkpoint()
 
     # -------------------------------------------------------------- abort
 
@@ -165,6 +194,12 @@ class TransactionManager:
         txn.aborted_flag = True
         txn.state = ABORTED
         self.locks.wake_aborted(txn)
+        # Write-ahead (best-effort: a dead log device must not block abort
+        # cleanup): nested aborts append compensation records so a later
+        # top-level commit of the surrounding sphere replays to the right
+        # state; a top-level abort record discards the sphere at replay.
+        if self.wal is not None:
+            self.wal.log_abort(txn)
         replay_reverse(txn.undo_log)
         txn.undo_log = []
         txn.deferred_conditions = []

@@ -3,12 +3,13 @@
 OIDs, transaction ids, rule ids, and firing ids all come from instances of
 :class:`IdGenerator` so that every identifier in a single HiPAC instance is
 small, dense, and deterministic — properties the tests and the tracing
-experiments rely on.
+experiments rely on.  Recovery restores an OID generator past the highest
+recovered identifier (:meth:`IdGenerator.advance_past`) so replayed objects
+and new ones never collide.
 """
 
 from __future__ import annotations
 
-import itertools
 import threading
 
 
@@ -21,14 +22,27 @@ class IdGenerator:
 
     def __init__(self, prefix: str = "") -> None:
         self._prefix = prefix
-        self._counter = itertools.count(1)
+        self._next = 1
         self._lock = threading.Lock()
 
     def next_int(self) -> int:
         """Return the next integer id."""
         with self._lock:
-            return next(self._counter)
+            value = self._next
+            self._next += 1
+            return value
 
     def next_id(self) -> str:
         """Return the next string id, ``<prefix><n>``."""
         return "%s%d" % (self._prefix, self.next_int())
+
+    def peek(self) -> int:
+        """The integer the next allocation would return."""
+        with self._lock:
+            return self._next
+
+    def advance_past(self, value: int) -> None:
+        """Ensure no future id is ``<= value`` (recovery floor)."""
+        with self._lock:
+            if self._next <= value:
+                self._next = value + 1

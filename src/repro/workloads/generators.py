@@ -9,7 +9,7 @@ from __future__ import annotations
 import random
 import string
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.conditions.condition import Condition
 from repro.events.spec import on_update

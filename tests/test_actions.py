@@ -12,11 +12,9 @@ from repro import (
     HiPAC,
     IntegrityViolation,
     Query,
-    RequestStep,
     Rule,
     RuleError,
     SignalStep,
-    UpdateObject,
     attributes,
     external,
     on_create,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Attr, AttrType, AttributeDef, ClassDef, Query, attributes
+from repro import Attr, AttrType, AttributeDef, ClassDef, Query
 from repro.baseline import PassiveDBMS, PollingClient, Trigger, TriggerSystem
 from repro.errors import RuleError
 

@@ -14,7 +14,6 @@ from repro import (
     RuleError,
     attributes,
     on_create,
-    on_update,
 )
 from repro.rules.manager import RuleManagerConfig
 

@@ -12,8 +12,6 @@ from repro import (
     HiPAC,
     IntegrityViolation,
     Query,
-    TransactionAborted,
-    attributes,
     on_update,
 )
 from repro.declarative import (

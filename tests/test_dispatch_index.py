@@ -22,7 +22,6 @@ from repro import (
     attributes,
     external,
     on_create,
-    on_delete,
     on_update,
 )
 from repro.events.database import DatabaseEventDetector

@@ -4,15 +4,9 @@ import pytest
 
 from repro.errors import EventError
 from repro.events.database import DatabaseEventDetector
-from repro.events.detectors import EventDetector
 from repro.events.external import ExternalEventDetector
 from repro.events.signal import EventSignal
-from repro.events.spec import (
-    ExternalEventSpec,
-    external,
-    on_create,
-    on_update,
-)
+from repro.events.spec import external, on_create, on_update
 from repro.objstore.types import AttributeDef, ClassDef, Schema
 
 

@@ -9,7 +9,6 @@ from repro import (
     HiPAC,
     Query,
     Rule,
-    SchemaError,
     VirtualClock,
     attributes,
     on_create,

@@ -14,7 +14,6 @@ from repro import (
     Query,
     Rule,
     Sequence,
-    TransactionAborted,
     VirtualClock,
     after,
     attributes,

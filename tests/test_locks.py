@@ -268,6 +268,43 @@ class TestDeadlockDetection:
         thread.join(timeout=2.0)
         assert locks.stats["deadlocks"] >= 1
 
+    def test_finished_transaction_cannot_try_acquire(self):
+        # Regression: try_acquire used to skip the is_finished() guard that
+        # acquire has, letting a committed/aborted transaction grab locks
+        # after its release_all had already run — leaking them forever.
+        locks = LockManager()
+        for state in ("committed", "aborted"):
+            t = txn("t-%s" % state)
+            t.state = state
+            with pytest.raises(TransactionStateError):
+                locks.try_acquire(t, RES, LockMode.S)
+        assert locks.resource_count() == 0
+
+    def test_post_deadline_wakeup_rechecks_conflicts(self):
+        # Regression: acquire classified a post-deadline wake-up as a
+        # timeout even when the conflicting holder had released in the
+        # meantime.  Simulate the race: the wait "times out" (returns
+        # False) but the holder releases during that same wait.
+        locks = LockManager()
+        a, b = txn("a"), txn("b")
+        locks.acquire(a, RES, LockMode.X)
+        original_wait = locks._cond.wait
+
+        def wait_and_lose_race(timeout=None):
+            # Holder releases while b is blocked, then the wait returns
+            # False as if the deadline had already passed (the condition
+            # uses an RLock, so re-entering release_all here is safe).
+            locks.release_all(a)
+            return False
+
+        locks._cond.wait = wait_and_lose_race
+        try:
+            locks.acquire(b, RES, LockMode.S, timeout=5.0)
+        finally:
+            locks._cond.wait = original_wait
+        assert locks.mode_held(b, RES) == LockMode.S
+        assert locks.stats["timeouts"] == 0
+
     def test_wait_on_descendant_of_waiting_ancestor(self):
         # X waits on a lock held by parent P while P's child C waits on X:
         # the sphere rule must detect the cycle when C tries to wait.

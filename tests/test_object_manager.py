@@ -2,17 +2,10 @@
 
 import pytest
 
-from repro.core import tracing
 from repro.errors import SchemaError, TransactionStateError
-from repro.events.spec import DatabaseEventSpec, on_create, on_delete, on_update
+from repro.events.spec import on_create, on_update
 from repro.objstore.manager import ObjectManager
-from repro.objstore.operations import (
-    CreateObject,
-    DefineClass,
-    DeleteObject,
-    DropClass,
-    UpdateObject,
-)
+from repro.objstore.operations import DefineClass, DropClass
 from repro.objstore.predicates import Attr
 from repro.objstore.query import Query
 from repro.objstore.store import ObjectStore

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SchemaError, UnknownObjectError
 from repro.objstore.objects import OID
-from repro.objstore.store import CREATE, DELETE, UPDATE, Delta, ObjectStore
+from repro.objstore.store import UPDATE, ObjectStore
 from repro.objstore.types import AttrType, AttributeDef, ClassDef
 
 

@@ -10,7 +10,6 @@ from repro.objstore.predicates import (
     Compare,
     Const,
     EventArg,
-    Not,
     Or,
     conjuncts,
     equality_lookups,

@@ -7,7 +7,6 @@ exactly its pre-transaction snapshot; committing must preserve exactly the
 applied effects.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import AttrType, AttributeDef, ClassDef, HiPAC

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import QueryError
 from repro.objstore.executor import QueryExecutor
-from repro.objstore.predicates import And, Attr, Compare, Const, EventArg
+from repro.objstore.predicates import And, Attr, Compare, EventArg
 from repro.objstore.query import Query
 from repro.objstore.store import ObjectStore
 from repro.objstore.types import AttrType, AttributeDef, ClassDef

@@ -13,7 +13,6 @@ from repro import (
     Rule,
     RuleError,
     attributes,
-    external,
     on_update,
 )
 from repro.rules.rule import RULE_CLASS
@@ -240,7 +239,7 @@ class TestRuleLocking:
     def test_firing_takes_read_lock_blocking_on_writer(self, db):
         """A transaction holding a write lock on the rule object blocks
         firings (strict 2PL on rule objects, paper §2.2)."""
-        from repro.errors import LockTimeout, TransactionAborted
+        from repro.errors import TransactionAborted
         events = []
         rule = db.create_rule(probe_rule(events))
         writer = db.begin()

@@ -26,7 +26,6 @@ from repro import (
     external,
     on_update,
 )
-from repro.core import tracing
 from repro.core.tracing import (
     APPLICATION,
     CONDITION_EVALUATOR,

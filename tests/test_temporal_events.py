@@ -1,6 +1,5 @@
 """Tests for the temporal event detector on a virtual clock."""
 
-import pytest
 
 from repro.clock import VirtualClock
 from repro.events.signal import EventSignal

@@ -7,7 +7,7 @@ from repro.objstore.store import ObjectStore
 from repro.objstore.types import AttrType, AttributeDef, ClassDef
 from repro.txn.locks import LockManager, LockMode, LockResource
 from repro.txn.manager import TransactionManager
-from repro.txn.transaction import ABORTED, ACTIVE, COMMITTED, Transaction
+from repro.txn.transaction import ABORTED, ACTIVE, COMMITTED
 from repro.txn.undo import CallbackUndo, DeltaUndo
 
 

@@ -1,0 +1,433 @@
+"""Crash-recovery tests: WAL format, crash-point sweep, fault injection,
+checkpointing, and restart continuity.
+
+The central property (ISSUE 2 acceptance): killing the system after *any*
+WAL record and recovering must yield exactly the state produced by the
+committed top-level transactions in the surviving prefix — no lost
+committed effects, no resurrected aborted/uncommitted effects, and
+deferred-rule effects (which per §6.3 ran inside the committing
+transaction) replayed atomically with their commit.
+"""
+
+import pytest
+
+from repro import (
+    Action,
+    ClassDef,
+    Condition,
+    HiPAC,
+    Rule,
+    attributes,
+    on_update,
+)
+from repro.recovery import (
+    FaultingWAL,
+    InjectedCrash,
+    corrupt_record,
+    has_durable_state,
+    load_checkpoint,
+    read_wal_records,
+    recover,
+    truncated_copy,
+)
+from repro.recovery.wal import WAL_FILENAME
+from repro.rules.coupling import DEFERRED, IMMEDIATE
+from repro.rules.rule import RULE_CLASS
+
+
+def stock_class():
+    return ClassDef("Stock", attributes("symbol", ("price", "number")))
+
+
+def audit_class():
+    return ClassDef("Audit", attributes("note"))
+
+
+def build_rules():
+    """A fresh rule library (Rule objects are mutated on registration, so
+    every recovery needs its own instances)."""
+    return [Rule(
+        name="audit-price",
+        event=on_update("Stock"),
+        condition=Condition.true(),
+        action=Action.call(
+            lambda ctx: ctx.create("Audit", {"note": "price-change"})),
+        ec_coupling=DEFERRED,
+        ca_coupling=IMMEDIATE,
+    )]
+
+
+def make_durable_db(data_dir, **kwargs):
+    kwargs.setdefault("wal_fsync", False)  # sweeps don't need real fsyncs
+    return HiPAC(lock_timeout=2.0, durability="wal", data_dir=data_dir,
+                 **kwargs)
+
+
+def run_workload(db):
+    """A mixed workload: DDL, creates, deferred rule firings, an explicit
+    abort, nested commit + nested abort (compensation records), rule
+    create/drop.  Returns ``[(lsn, snapshot)]`` captured at every point
+    where the durable state legally changes (each top-level outcome)."""
+    captures = [(db.wal.last_lsn, db.store.snapshot_state())]
+
+    def cap():
+        captures.append((db.wal.last_lsn, db.store.snapshot_state()))
+
+    db.define_class(stock_class())
+    cap()
+    db.define_class(audit_class())
+    cap()
+    db.create_rule(build_rules()[0])
+    cap()
+
+    with db.transaction() as t:
+        ibm = db.create("Stock", {"symbol": "IBM", "price": 10.0}, t)
+        dec = db.create("Stock", {"symbol": "DEC", "price": 20.0}, t)
+    cap()
+
+    # Deferred rule firing: the Audit row is created inside the committing
+    # transaction (§6.3), so its delta precedes the commit record.
+    with db.transaction() as t:
+        db.update(ibm, {"price": 11.0}, t)
+    cap()
+
+    # Explicit top-level abort: none of this may survive recovery.
+    t = db.begin()
+    db.create("Stock", {"symbol": "BAD", "price": 0.0}, t)
+    db.update(dec, {"price": 999.0}, t)
+    db.abort(t)
+    cap()
+
+    # Nested: committed child + aborted child (compensation records) under
+    # a committing top level.
+    t = db.begin()
+    child = db.begin(t)
+    db.update(dec, {"price": 21.0}, child)
+    db.commit(child)
+    doomed = db.begin(t)
+    db.create("Stock", {"symbol": "TMP", "price": 1.0}, doomed)
+    db.update(dec, {"price": 1000.0}, doomed)
+    db.abort(doomed)
+    db.update(dec, {"price": 22.0}, t)
+    db.commit(t)
+    cap()
+
+    db.delete_rule("audit-price")
+    cap()
+
+    db.define_class(ClassDef("Temp", attributes("x")))
+    cap()
+    db.drop_class("Temp")
+    cap()
+
+    with db.transaction() as t:
+        db.update(ibm, {"price": 12.5}, t)
+    cap()
+    return captures
+
+
+def oracle(captures, lsn):
+    """The committed state as of ``lsn``: the last capture at or below it."""
+    state = captures[0][1]
+    for captured_lsn, snapshot in captures:
+        if captured_lsn <= lsn:
+            state = snapshot
+    return state
+
+
+def sweep(src, captures, tmp_path):
+    """Recover every WAL prefix of ``src`` and compare to the oracle."""
+    records, _ = read_wal_records(src / WAL_FILENAME)
+    checkpoint = load_checkpoint(src)
+    base_lsn = checkpoint["lsn"] if checkpoint is not None else 0
+    assert records, "workload produced no WAL records"
+    for n in range(len(records) + 1):
+        lsn = records[n - 1]["lsn"] if n else base_lsn
+        prefix_dir = truncated_copy(src, tmp_path / ("prefix%d" % n), n)
+        recovered = recover(prefix_dir, rules=build_rules(), durability=None)
+        assert recovered.store.snapshot_state() == oracle(captures, lsn), (
+            "prefix of %d records (lsn %d) diverged from committed state"
+            % (n, lsn))
+
+
+class TestWalFormat:
+    def test_reader_returns_only_valid_prefix(self, tmp_path):
+        db = make_durable_db(tmp_path / "d")
+        db.define_class(stock_class())
+        with db.transaction() as t:
+            db.create("Stock", {"symbol": "IBM", "price": 1.0}, t)
+        db.close()
+        records, discarded = read_wal_records(tmp_path / "d" / WAL_FILENAME)
+        assert discarded == 0
+        assert [r["type"] for r in records[:2]] == ["begin", "delta"]
+        assert all(r1["lsn"] < r2["lsn"]
+                   for r1, r2 in zip(records, records[1:]))
+
+    def test_reader_stops_at_corrupt_record(self, tmp_path):
+        db = make_durable_db(tmp_path / "d")
+        db.define_class(stock_class())
+        with db.transaction() as t:
+            db.create("Stock", {"symbol": "IBM", "price": 1.0}, t)
+        db.close()
+        records, _ = read_wal_records(tmp_path / "d" / WAL_FILENAME)
+        corrupt_record(tmp_path / "d", 3)
+        surviving, discarded = read_wal_records(tmp_path / "d" / WAL_FILENAME)
+        assert [r["lsn"] for r in surviving] == [r["lsn"] for r in records[:3]]
+        assert discarded == len(records) - 3
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        db = make_durable_db(tmp_path / "d")
+        db.define_class(stock_class())
+        db.close()
+        path = tmp_path / "d" / WAL_FILENAME
+        text = path.read_text()
+        complete = len(text.splitlines())
+        last = text.splitlines()[-1]
+        path.write_text(text + last[: len(last) // 2])
+        records, discarded = read_wal_records(path)
+        assert len(records) == complete
+        assert discarded == 1
+
+
+class TestCrashSweep:
+    def test_recovery_equals_committed_prefix_at_every_record(self, tmp_path):
+        db = make_durable_db(tmp_path / "src")
+        captures = run_workload(db)
+        db.close()
+        sweep(tmp_path / "src", captures, tmp_path)
+
+    def test_sweep_with_mid_workload_checkpoint(self, tmp_path):
+        db = make_durable_db(tmp_path / "src")
+        db.define_class(stock_class())
+        db.define_class(audit_class())
+        db.create_rule(build_rules()[0])
+        with db.transaction() as t:
+            ibm = db.create("Stock", {"symbol": "IBM", "price": 10.0}, t)
+        assert db.checkpoint()
+        # Everything before the checkpoint is now in the snapshot, not the
+        # (truncated) WAL; the sweep's base state is the checkpoint.
+        captures = [(db.wal.last_lsn, db.store.snapshot_state())]
+        with db.transaction() as t:
+            db.update(ibm, {"price": 11.0}, t)
+        captures.append((db.wal.last_lsn, db.store.snapshot_state()))
+        t = db.begin()
+        db.create("Stock", {"symbol": "BAD", "price": 0.0}, t)
+        db.abort(t)
+        captures.append((db.wal.last_lsn, db.store.snapshot_state()))
+        with db.transaction() as t:
+            db.update(ibm, {"price": 12.0}, t)
+        captures.append((db.wal.last_lsn, db.store.snapshot_state()))
+        db.close()
+        sweep(tmp_path / "src", captures, tmp_path)
+
+    def test_corrupt_record_truncates_recovery_to_its_prefix(self, tmp_path):
+        db = make_durable_db(tmp_path / "src")
+        captures = run_workload(db)
+        db.close()
+        src = tmp_path / "src"
+        records, _ = read_wal_records(src / WAL_FILENAME)
+        index = len(records) // 2
+        corrupt_record(src, index)
+        recovered = recover(src, rules=build_rules(), durability=None)
+        assert recovered.store.snapshot_state() == oracle(
+            captures, records[index - 1]["lsn"])
+
+
+def attach_wal(db, wal):
+    db.wal = wal
+    db.transaction_manager.wal = wal
+    db.object_manager.wal = wal
+    db.rule_manager.wal = wal
+
+
+class TestFaultInjection:
+    def test_commit_crash_aborts_and_releases_locks(self, tmp_path):
+        # Satellite fix: a failure in the commit *resume* phase (the WAL
+        # force) must not strand the transaction in COMMITTING with its
+        # locks held — it aborts, rolls back, and re-raises.
+        db = HiPAC(lock_timeout=2.0)
+        db.define_class(stock_class())
+        before = db.store.snapshot_state()
+        # fail_after=2: begin + create delta succeed, the commit append dies.
+        attach_wal(db, FaultingWAL(tmp_path / "d", fail_after=2))
+        txn = db.begin()
+        db.create("Stock", {"symbol": "IBM", "price": 1.0}, txn)
+        with pytest.raises(InjectedCrash):
+            db.commit(txn)
+        assert txn.state == "aborted"
+        assert db.store.snapshot_state() == before
+        assert db.locks.resource_count() == 0
+        assert db.wal.stats["append_failures"] >= 1
+        # The in-memory system stays usable once the dead log is detached.
+        attach_wal(db, None)
+        with db.transaction() as t:
+            db.create("Stock", {"symbol": "DEC", "price": 2.0}, t)
+        assert len(db.store.snapshot_state()["Stock"]) == 1
+
+    def test_commit_crash_recovers_to_committed_prefix(self, tmp_path):
+        db = HiPAC(lock_timeout=2.0)
+        wal = FaultingWAL(tmp_path / "d", fail_after=100)
+        attach_wal(db, wal)
+        db.define_class(stock_class())  # logged: recovery needs the class
+        with db.transaction() as t:
+            db.create("Stock", {"symbol": "IBM", "price": 1.0}, t)
+        committed = db.store.snapshot_state()
+        wal.fail_after = wal.stats["records"] + 2  # dies at the next commit
+        txn = db.begin()
+        db.create("Stock", {"symbol": "DEC", "price": 2.0}, txn)
+        with pytest.raises(InjectedCrash):
+            db.commit(txn)
+        recovered = recover(tmp_path / "d", durability=None)
+        snapshot = recovered.store.snapshot_state()
+        assert snapshot["Stock"] == committed["Stock"]
+
+    def test_nested_commit_crash_aborts_child_only(self, tmp_path):
+        db = HiPAC(lock_timeout=2.0)
+        db.define_class(stock_class())
+        wal = FaultingWAL(tmp_path / "d", fail_after=100)
+        attach_wal(db, wal)
+        parent = db.begin()
+        ibm = db.create("Stock", {"symbol": "IBM", "price": 1.0}, parent)
+        child = db.begin(parent)
+        db.update(ibm, {"price": 2.0}, child)
+        wal.fail_after = wal.stats["records"]  # next append dies
+        with pytest.raises(InjectedCrash):
+            db.commit(child)
+        assert child.state == "aborted"
+        assert parent.state == "active"
+        assert db.store.get(ibm).snapshot()["price"] == 1.0
+        attach_wal(db, None)
+        db.abort(parent)
+        assert db.locks.resource_count() == 0
+
+
+class TestCheckpointer:
+    def test_interval_checkpoint_truncates_wal(self, tmp_path):
+        db = make_durable_db(tmp_path / "d", checkpoint_interval=5)
+        db.define_class(stock_class())
+        for i in range(5):
+            with db.transaction() as t:
+                db.create("Stock", {"symbol": "S%d" % i, "price": 1.0}, t)
+        db.close()
+        assert db.stats()["recovery"]["checkpoints"] >= 1
+        checkpoint = load_checkpoint(tmp_path / "d")
+        assert checkpoint is not None
+        records, _ = read_wal_records(tmp_path / "d" / WAL_FILENAME)
+        assert all(r["lsn"] > checkpoint["lsn"] for r in records)
+
+    def test_checkpoint_refused_while_transactions_live(self, tmp_path):
+        db = make_durable_db(tmp_path / "d")
+        db.define_class(stock_class())
+        txn = db.begin()
+        db.create("Stock", {"symbol": "IBM", "price": 1.0}, txn)
+        assert db.checkpoint() is False
+        assert db.stats()["recovery"]["checkpoints_skipped"] == 1
+        db.commit(txn)
+        assert db.checkpoint() is True
+        db.close()
+
+    def test_checkpoint_restart_restores_state_and_oid_floor(self, tmp_path):
+        db = make_durable_db(tmp_path / "d")
+        db.define_class(stock_class())
+        with db.transaction() as t:
+            db.create("Stock", {"symbol": "IBM", "price": 1.0}, t)
+        assert db.checkpoint()
+        with db.transaction() as t:
+            db.create("Stock", {"symbol": "DEC", "price": 2.0}, t)
+        state = db.store.snapshot_state()
+        db.close()
+        db2 = make_durable_db(tmp_path / "d")
+        assert db2.store.snapshot_state()["Stock"] == state["Stock"]
+        with db2.transaction() as t:
+            oid = db2.create("Stock", {"symbol": "NEW", "price": 3.0}, t)
+        existing = set(state["Stock"])
+        assert oid not in existing
+        db2.close()
+
+
+class TestRestart:
+    def test_restart_survives_and_rebinds_rules(self, tmp_path):
+        db = make_durable_db(tmp_path / "d")
+        run_workload(db)
+        final = db.store.snapshot_state()
+        db.close()
+
+        db2 = make_durable_db(tmp_path / "d", rule_library=build_rules())
+        assert db2.store.snapshot_state() == final
+        report = db2.recovery_report()
+        assert report is not None
+        assert report.replayed_spheres > 0
+        # Recovery checkpointed immediately: the old log is absorbed, so a
+        # second restart replays nothing from the WAL.
+        assert load_checkpoint(tmp_path / "d") is not None
+        db2.close()
+
+    def test_rebound_rule_fires_after_restart(self, tmp_path):
+        db = make_durable_db(tmp_path / "d")
+        db.define_class(stock_class())
+        db.define_class(audit_class())
+        db.create_rule(build_rules()[0])
+        with db.transaction() as t:
+            ibm = db.create("Stock", {"symbol": "IBM", "price": 1.0}, t)
+        db.close()
+
+        db2 = make_durable_db(tmp_path / "d", rule_library=build_rules())
+        assert db2.rule_names() == ["audit-price"]
+        audits_before = len(db2.store.snapshot_state().get("Audit", {}))
+        with db2.transaction() as t:
+            db2.update(ibm, {"price": 2.0}, t)
+        audits_after = len(db2.store.snapshot_state().get("Audit", {}))
+        assert audits_after == audits_before + 1
+        db2.close()
+
+    def test_unbound_rules_are_reported_not_registered(self, tmp_path):
+        db = make_durable_db(tmp_path / "d")
+        db.define_class(stock_class())
+        db.define_class(audit_class())
+        db.create_rule(build_rules()[0])
+        db.close()
+
+        db2 = make_durable_db(tmp_path / "d")  # no rule_library
+        assert db2.rule_names() == []
+        assert db2.recovery_report().rules_unbound == ["audit-price"]
+        # The rule's row survived; re-supplying the library next restart
+        # rebinds it.
+        assert len(db2.store.snapshot_state()[RULE_CLASS]) == 1
+        db2.close()
+        db3 = make_durable_db(tmp_path / "d", rule_library=build_rules())
+        assert db3.rule_names() == ["audit-price"]
+        db3.close()
+
+    def test_fresh_directory_has_no_durable_state(self, tmp_path):
+        assert not has_durable_state(tmp_path / "nothing")
+        db = make_durable_db(tmp_path / "d")
+        db.define_class(stock_class())
+        db.close()
+        assert has_durable_state(tmp_path / "d")
+
+
+class TestStatsAndDefaults:
+    def test_recovery_stats_present_in_memory_mode(self):
+        db = HiPAC(lock_timeout=2.0)
+        recovery = db.stats()["recovery"]
+        assert recovery["wal_records"] == 0
+        assert recovery["replays"] == 0
+        assert db.wal is None and db.checkpointer is None
+
+    def test_recovery_stats_count_wal_activity(self, tmp_path):
+        db = HiPAC(lock_timeout=2.0, durability="wal",
+                   data_dir=tmp_path / "d")
+        db.define_class(stock_class())
+        with db.transaction() as t:
+            db.create("Stock", {"symbol": "IBM", "price": 1.0}, t)
+        recovery = db.stats()["recovery"]
+        assert recovery["wal_records"] > 0
+        assert recovery["wal_commits_forced"] == 2
+        assert recovery["wal_fsyncs"] == 2
+        db.close()
+
+    def test_unknown_durability_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            HiPAC(durability="paper-tape", data_dir=tmp_path / "d")
+        with pytest.raises(ValueError):
+            HiPAC(durability="wal")
