@@ -26,6 +26,7 @@ evaluation, and materialization of derived data"):
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core import tracing
@@ -33,6 +34,8 @@ from repro.conditions.condition import Condition, ConditionOutcome
 from repro.conditions.graph import ConditionGraph
 from repro.errors import ConditionError
 from repro.events.signal import EventSignal
+from repro.obs.metrics import HOT_PATH_SAMPLE, MetricsRegistry
+from repro.obs.slowlog import SlowLog
 from repro.objstore.joins import JoinQuery
 from repro.objstore.manager import ObjectManager
 from repro.objstore.query import Query, QueryResult
@@ -49,9 +52,20 @@ class ConditionEvaluator:
 
     def __init__(self, object_manager: ObjectManager,
                  tracer: Optional[tracing.Tracer] = None,
-                 use_graph: bool = True) -> None:
+                 use_graph: bool = True,
+                 metrics: Optional[MetricsRegistry] = None,
+                 slow_log: Optional[SlowLog] = None) -> None:
         self._om = object_manager
         self._tracer = tracer or tracing.Tracer()
+        self._metrics = metrics or MetricsRegistry(enabled=False)
+        # `is not None`, not truthiness: an empty SlowLog is falsy (len 0).
+        self._slow_log = (slow_log if slow_log is not None
+                          else SlowLog(enabled=False))
+        #: sampled (see Histogram.should_sample): graph-backed evaluations
+        #: run in microseconds; the slow log inspects the same sampled
+        #: timings, so a recurring slow condition still surfaces quickly
+        self._eval_seconds = self._metrics.histogram(
+            "condition_eval_seconds", sample=HOT_PATH_SAMPLE)
         self.use_graph = use_graph
         self.graph = ConditionGraph(object_manager.store)
         object_manager.add_delta_listener(self.graph.on_delta)
@@ -107,6 +121,8 @@ class ConditionEvaluator:
                             "evaluate_condition",
                             "%s coupling=%s" % (condition.name or "-", coupling))
         self.stats["evaluations"] += 1
+        timed = self._eval_seconds.should_sample()
+        start = _time.perf_counter() if timed else 0.0
         bindings = signal.bindings()
         results: List[QueryResult] = []
         satisfied = True
@@ -122,6 +138,13 @@ class ConditionEvaluator:
                 raise ConditionError(
                     "condition guard %r raised: %s" % (condition.name, exc)
                 ) from exc
+        if timed:
+            elapsed = _time.perf_counter() - start
+            self._eval_seconds.observe(elapsed)
+            if elapsed >= self._slow_log.threshold:
+                self._slow_log.note("condition", condition.name or "-",
+                                    elapsed, coupling=coupling,
+                                    satisfied=satisfied)
         return ConditionOutcome(satisfied, results, bindings)
 
     # ----------------------------------------------------------- internals

@@ -24,7 +24,7 @@ evaluates immediate-group conditions in concurrent sibling subtransactions.
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.apps.interface import ApplicationInterface
 from repro.apps.registry import ApplicationRegistry
@@ -36,6 +36,10 @@ from repro.events.external import ExternalEventDetector
 from repro.events.signal import EventSignal
 from repro.events.spec import ExternalEventSpec
 from repro.events.temporal import TemporalEventDetector
+from repro.obs import export as obs_export
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowLog
+from repro.obs.spans import SpanRecorder
 from repro.objstore.manager import ObjectManager
 from repro.objstore.objects import OID
 from repro.objstore.operations import DefineClass, DropClass, Operation
@@ -64,19 +68,51 @@ class HiPAC:
                  data_dir: Optional[Any] = None,
                  wal_fsync: bool = True,
                  checkpoint_interval: Optional[int] = None,
-                 rule_library: Optional[Any] = None) -> None:
+                 rule_library: Optional[Any] = None,
+                 observability: Union[bool, str] = True,
+                 span_capacity: int = 1024,
+                 slow_threshold: float = 0.050,
+                 firing_log_capacity: Optional[int] = None) -> None:
         self.tracer = tracing.Tracer()
         self.clock = clock or VirtualClock()
+        #: observability levels:
+        #:   ``True``    — production default: metrics registry + slow log
+        #:                 (each instrument is a histogram observe; the
+        #:                 whole surface stays within a few percent of
+        #:                 ``False``);
+        #:   ``"trace"`` — additionally record causal span trees for every
+        #:                 event → firing → action chain (diagnostic mode:
+        #:                 per-firing allocation cost, like any DBMS
+        #:                 statement-tracing switch — flip it on around the
+        #:                 window you want to explain);
+        #:   ``False``   — overhead-ablation off switch: every instrument
+        #:                 degrades to one attribute check.
+        if observability not in (True, False, "trace"):
+            raise ValueError(
+                "observability must be True, False, or 'trace' (got %r)"
+                % (observability,))
+        self.metrics = MetricsRegistry(enabled=bool(observability))
+        self.spans = SpanRecorder(capacity=span_capacity,
+                                  enabled=observability == "trace")
+        self.slow_log = SlowLog(threshold=slow_threshold,
+                                enabled=bool(observability))
+        config = config or RuleManagerConfig()
+        if firing_log_capacity is not None:
+            config.firing_log_capacity = firing_log_capacity
         self.store = ObjectStore()
-        self.locks = LockManager(default_timeout=lock_timeout)
-        self.transaction_manager = TransactionManager(self.locks, self.tracer)
+        self.locks = LockManager(default_timeout=lock_timeout,
+                                 metrics=self.metrics)
+        self.transaction_manager = TransactionManager(self.locks, self.tracer,
+                                                      metrics=self.metrics)
         self.transaction_manager.signal_transaction_events = signal_transaction_events
         self.object_manager = ObjectManager(self.store, self.transaction_manager,
                                             self.tracer, self.clock,
-                                            indexed_dispatch=indexed_dispatch)
+                                            indexed_dispatch=indexed_dispatch,
+                                            metrics=self.metrics)
         self.object_manager.executor.use_indexes = use_indexes
         self.condition_evaluator = ConditionEvaluator(
-            self.object_manager, self.tracer, use_graph=use_condition_graph)
+            self.object_manager, self.tracer, use_graph=use_condition_graph,
+            metrics=self.metrics, slow_log=self.slow_log)
         self.temporal_detector = TemporalEventDetector(
             self.clock, tracer=self.tracer, schema=self.store.schema,
             indexed_dispatch=indexed_dispatch)
@@ -91,7 +127,8 @@ class HiPAC:
             self.condition_evaluator, self.temporal_detector,
             self.external_detector, self.composite_detector,
             tracer=self.tracer, clock=self.clock,
-            applications=self.applications, config=config)
+            applications=self.applications, config=config,
+            metrics=self.metrics, spans=self.spans, slow_log=self.slow_log)
         # Figure 5.1 wiring: every detector reports to the Rule Manager; the
         # Transaction Manager signals transaction termination to it.  The
         # database detector additionally delivers all reports of one
@@ -103,6 +140,7 @@ class HiPAC:
         self.external_detector.sink = self.rule_manager.signal_event
         self.composite_detector.sink = self.rule_manager.signal_event
         self.transaction_manager.event_sink = self.rule_manager.transaction_event
+        self.metrics.add_collector(self._collect_component_stats)
         self._bootstrap()
         #: durability wiring (None / "wal"); see _enable_durability
         self.wal: Optional[Any] = None
@@ -149,7 +187,8 @@ class HiPAC:
         if has_durable_state(data_dir):
             report = replay_into(self, data_dir, rules=rule_library)
         wal = WriteAheadLog(data_dir, fsync=wal_fsync, tracer=self.tracer,
-                            start_lsn=report.last_lsn if report else 0)
+                            start_lsn=report.last_lsn if report else 0,
+                            metrics=self.metrics)
         self.wal = wal
         self.transaction_manager.wal = wal
         self.object_manager.wal = wal
@@ -361,6 +400,51 @@ class HiPAC:
         """The rule-firing log (see :class:`repro.rules.firing.FiringLog`)."""
         return self.rule_manager.firings
 
+    # ------------------------------------------------------- observability
+
+    def metrics_report(self) -> str:
+        """Human-readable summary: latency percentiles per instrumented
+        operation, non-zero counters, component stats, span retention, and
+        the slow-log tail."""
+        return obs_export.metrics_report(self.metrics,
+                                         slow_log=self.slow_log,
+                                         span_recorder=self.spans)
+
+    def explain_firing(self, rule_name: Optional[str] = None,
+                       last: Optional[int] = None) -> str:
+        """Render the firing log, one sentence per firing (optionally one
+        rule's firings, or only the last ``last``)."""
+        from repro.tools.explain import explain
+        return explain(self.rule_manager.firings, rule_name, last)
+
+    def export_trace(self, path: Optional[Any] = None) -> Dict[str, Any]:
+        """Chrome ``trace_event`` JSON of all retained span trees.
+
+        Returns the document; when ``path`` is given it is also written
+        there (load it in ``chrome://tracing`` or ui.perfetto.dev)."""
+        if path is None:
+            return obs_export.chrome_trace(self.spans)
+        return obs_export.write_chrome_trace(self.spans, path)
+
+    def prometheus_metrics(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return obs_export.prometheus_text(self.metrics)
+
+    def _collect_component_stats(self) -> Dict[str, float]:
+        """Pull-time metrics collector: flattens every component ``stats``
+        section as ``<section>_<key>`` and derives the live deferred-queue
+        depth — zero hot-path cost, always exact."""
+        flat: Dict[str, float] = {}
+        for section, values in self.stats().items():
+            for key, value in values.items():
+                flat["%s_%s" % (section, key)] = value
+        live = self.transaction_manager.live_transactions()
+        flat["live_transactions"] = len(live)
+        flat["deferred_queue_depth"] = sum(
+            len(txn.deferred_conditions) + len(txn.deferred_actions)
+            for txn in live)
+        return flat
+
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Aggregated component statistics (benchmark reporting).
 
@@ -413,4 +497,11 @@ class HiPAC:
             "condition_graph": dict(self.condition_evaluator.graph.stats),
             "applications": dict(self.applications.stats),
             "recovery": recovery,
+            "obs": {
+                "spans_retained": len(self.spans.roots()),
+                "spans_dropped": self.spans.dropped,
+                "slow_entries": len(self.slow_log),
+                "slow_dropped": self.slow_log.dropped,
+                "firing_log_dropped": self.rule_manager.firings.dropped,
+            },
         }

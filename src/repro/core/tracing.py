@@ -108,6 +108,19 @@ class Tracer:
 
     Thread safe: separate-coupling rule firings record from their own
     threads.  A tracer is shared by all components of one HiPAC instance.
+
+    Enable/disable contract:
+
+    * ``enabled`` is toggled **only** by :meth:`start` / :meth:`stop`
+      (both take the lock); callers must never write it directly.
+    * :meth:`record` and :meth:`bump` read ``enabled`` unlocked as the
+      disabled fast path (one attribute check per call), then re-check it
+      *under the lock* before touching state — so once :meth:`stop`
+      returns, no concurrent call can append to the records it swapped
+      out, and a call racing :meth:`start` either lands in the fresh
+      trace or not at all (never in the previous one).
+    * The unlocked read means a call overlapping :meth:`start` /
+      :meth:`stop` may be dropped; it will never be misfiled or torn.
     """
 
     def __init__(self) -> None:
@@ -122,6 +135,8 @@ class Tracer:
         if not self.enabled:
             return
         with self._lock:
+            if not self.enabled:  # re-check: stop() may have won the race
+                return
             self._seq += 1
             self._records.append(TraceRecord(self._seq, source, target, operation, detail))
 
@@ -135,6 +150,8 @@ class Tracer:
         if not self.enabled:
             return
         with self._lock:
+            if not self.enabled:  # re-check: stop() may have won the race
+                return
             self._counters[counter] = self._counters.get(counter, 0) + amount
 
     def start(self) -> None:
@@ -161,12 +178,24 @@ class Tracer:
 
 
 class NullTracer(Tracer):
-    """A tracer that can never be enabled; used where tracing is irrelevant."""
+    """A tracer that can never be enabled; used where tracing is irrelevant.
 
-    def start(self) -> None:  # pragma: no cover - guard
+    Every observation entry point (:meth:`record`, :meth:`bump`) is an
+    unconditional no-op, :meth:`start` and :meth:`stop` raise — a component
+    holding a NullTracer can never produce or return a trace, racing
+    callers included.
+    """
+
+    def start(self) -> None:
         raise RuntimeError("NullTracer cannot be started")
 
+    def stop(self) -> Trace:
+        raise RuntimeError("NullTracer cannot be stopped (never started)")
+
     def record(self, source: str, target: str, operation: str, detail: str = "") -> None:
+        return
+
+    def bump(self, counter: str, amount: int = 1) -> None:
         return
 
 

@@ -30,6 +30,7 @@ ablation benchmarks.
 from __future__ import annotations
 
 import copy
+import time as _time
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import tracing
@@ -37,6 +38,7 @@ from repro.events.detectors import EventDetector, EventSink, SubscriptionIndex
 from repro.events.matching import matches_primitive
 from repro.events.signal import EventSignal
 from repro.events.spec import OP_UPDATE, DatabaseEventSpec
+from repro.obs.metrics import HOT_PATH_SAMPLE, MetricsRegistry
 from repro.objstore.types import Schema
 
 
@@ -48,10 +50,21 @@ class DatabaseEventDetector(EventDetector):
     def __init__(self, schema: Schema, sink: Optional[EventSink] = None,
                  tracer: Optional[tracing.Tracer] = None,
                  component: Optional[str] = None, *,
-                 indexed_dispatch: bool = True) -> None:
+                 indexed_dispatch: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         super().__init__(sink, tracer, component,
-                         indexed_dispatch=indexed_dispatch)
+                         indexed_dispatch=indexed_dispatch, metrics=metrics)
         self._schema = schema
+        #: dispatch (match-lookup) latency only — report_batch runs the
+        #: whole rule cascade and is accounted to the rules, not dispatch
+        self._dispatch_seconds = {
+            True: self._metrics.histogram("db_dispatch_seconds",
+                                          sample=HOT_PATH_SAMPLE,
+                                          result="hit"),
+            False: self._metrics.histogram("db_dispatch_seconds",
+                                           sample=HOT_PATH_SAMPLE,
+                                           result="miss"),
+        }
         #: (op, class_name) -> specs without attribute scope
         self._index = SubscriptionIndex()
         #: (op, class_name, attr) -> attribute-scoped update specs
@@ -138,12 +151,23 @@ class DatabaseEventDetector(EventDetector):
         carrying its own spec tag on its own shallow copy — the caller's
         signal object is never mutated.
         """
+        # Time real dispatch work only: the index fast path (no rule uses
+        # this op at all) is a dict probe — instrumenting it would cost
+        # several times what it measures.  Hit or miss is unknown until
+        # after the probe, so one instrument's stride drives the sampling
+        # decision for both.
+        timed = (not (self.indexed_dispatch and signal.op not in self._ops)
+                 and self._dispatch_seconds[True].should_sample())
+        start = _time.perf_counter() if timed else 0.0
         if self.indexed_dispatch:
             matched = self._probe(signal)
         else:
             self.stats["linear_scans"] += 1
             matched = [spec for spec in list(self._registrations)
                        if matches_primitive(spec, signal, self._schema)]
+        if timed:
+            self._dispatch_seconds[bool(matched)].observe(
+                _time.perf_counter() - start)
         if not matched:
             return matched  # type: ignore[return-value]
         # Each report needs an independent .spec tag; always copy (cheap

@@ -25,6 +25,7 @@ from repro.core import tracing
 from repro.errors import EventError
 from repro.events.signal import EventSignal
 from repro.events.spec import EventSpec
+from repro.obs.metrics import MetricsRegistry
 
 EventSink = Callable[[EventSignal], None]
 """Destination of detected events (the Rule Manager's signal operation)."""
@@ -99,7 +100,8 @@ class EventDetector:
     def __init__(self, sink: Optional[EventSink] = None,
                  tracer: Optional[tracing.Tracer] = None,
                  component: Optional[str] = None, *,
-                 indexed_dispatch: bool = True) -> None:
+                 indexed_dispatch: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sink = sink
         #: batched sink: when wired, all reports of one observed operation
         #: are delivered in a single call (the Rule Manager processes the
@@ -115,6 +117,7 @@ class EventDetector:
             # from those components.
             self.component = component
         self._tracer = tracer or tracing.Tracer()
+        self._metrics = metrics or MetricsRegistry(enabled=False)
         self._registrations: Dict[EventSpec, _Registration] = {}
         self.stats = {"defined": 0, "reported": 0, "suppressed": 0}
 

@@ -23,11 +23,13 @@ Reads (``read``/``execute_query``) take shared locks and do not signal.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.clock import Clock, VirtualClock
 from repro.core import tracing
 from repro.errors import SchemaError
+from repro.obs.metrics import HOT_PATH_SAMPLE, MetricsRegistry
 from repro.events.database import DatabaseEventDetector
 from repro.events.signal import EventSignal
 from repro.objstore.executor import Plan, QueryExecutor
@@ -59,18 +61,33 @@ class ObjectManager:
     def __init__(self, store: ObjectStore, txn_manager: TransactionManager,
                  tracer: Optional[tracing.Tracer] = None,
                  clock: Optional[Clock] = None, *,
-                 indexed_dispatch: bool = True) -> None:
+                 indexed_dispatch: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.store = store
         self.txns = txn_manager
         self._tracer = tracer or tracing.Tracer()
         self._clock = clock or VirtualClock()
+        self._metrics = metrics or MetricsRegistry(enabled=False)
+        #: operation latency includes everything the §6.2 suspension
+        #: protocol charges to the operation: locks, store apply, event
+        #: dispatch, and synchronous (immediate) rule work.  All three are
+        #: sampled (1 in HOT_PATH_SAMPLE operations timed): these paths run
+        #: in single-digit microseconds, where timing every call would cost
+        #: more than the call.
+        self._op_seconds = self._metrics.histogram(
+            "om_operation_seconds", sample=HOT_PATH_SAMPLE)
+        self._read_seconds = self._metrics.histogram(
+            "om_read_seconds", sample=HOT_PATH_SAMPLE)
+        self._query_seconds = self._metrics.histogram(
+            "om_query_seconds", sample=HOT_PATH_SAMPLE)
         self.executor = QueryExecutor(store)
         #: the in-Object-Manager database event detector (paper §5.3); its
         #: sink is wired to the Rule Manager by the facade
         self.event_detector = DatabaseEventDetector(
             store.schema, tracer=self._tracer,
             component=tracing.OBJECT_MANAGER,
-            indexed_dispatch=indexed_dispatch)
+            indexed_dispatch=indexed_dispatch,
+            metrics=self._metrics)
         self._delta_listeners: List[DeltaListener] = []
         #: write-ahead log; None while the system runs in-memory only
         #: (attached by the facade when durability is enabled)
@@ -100,6 +117,16 @@ class ObjectManager:
                             "execute_operation", op.describe())
         txn.require_active()
         self.stats["operations"] += 1
+        if not self._op_seconds.should_sample():
+            return self._dispatch_operation(op, txn, user)
+        start = _time.perf_counter()
+        try:
+            return self._dispatch_operation(op, txn, user)
+        finally:
+            self._op_seconds.observe(_time.perf_counter() - start)
+
+    def _dispatch_operation(self, op: Operation, txn: Transaction,
+                            user: str) -> Any:
         if isinstance(op, CreateObject):
             return self._create(op, txn, user)
         if isinstance(op, UpdateObject):
@@ -150,12 +177,20 @@ class ObjectManager:
         self._tracer.record(source, tracing.OBJECT_MANAGER, "read", str(oid))
         txn.require_active()
         self.stats["reads"] += 1
+        # Application read latency only: the Rule Manager's per-firing
+        # rule-object read (§2.2 "firing requires a read lock") is a dict
+        # probe already accounted inside the firing's condition timing.
+        timed = (source != tracing.RULE_MANAGER
+                 and self._read_seconds.should_sample())
+        start = _time.perf_counter() if timed else 0.0
         locks = self.txns.locks
         locks.acquire(txn, LockResource.for_class(oid.class_name), LockMode.IS)
         locks.acquire(txn, LockResource.for_object(oid), LockMode.S)
         snapshot = self.store.get(oid).snapshot()
         self._signal_retrieval("read", oid.class_name, txn, user,
                                oid=oid, attrs=snapshot, source=source)
+        if timed:
+            self._read_seconds.observe(_time.perf_counter() - start)
         return snapshot
 
     def execute_query(self, query: Query, txn: Transaction,
@@ -166,6 +201,8 @@ class ObjectManager:
                             query.class_name)
         txn.require_active()
         self.stats["queries"] += 1
+        timed = self._query_seconds.should_sample()
+        start = _time.perf_counter() if timed else 0.0
         locks = self.txns.locks
         if query.include_subclasses:
             class_names = self.store.schema.subclasses(query.class_name)
@@ -177,6 +214,8 @@ class ObjectManager:
         result = self.executor.execute(query, bindings)
         self._signal_retrieval("query", query.class_name, txn, user,
                                source=source)
+        if timed:
+            self._query_seconds.observe(_time.perf_counter() - start)
         return result
 
     def execute_join(self, join: JoinQuery, txn: Transaction,

@@ -1,0 +1,45 @@
+"""Observability: metrics registry, causal spans, exporters, slow log.
+
+One surface for "where does the time go" across the Figure 5.1
+components — see :mod:`repro.obs.metrics` (counters / gauges / histograms
+with percentiles), :mod:`repro.obs.spans` (causal rule-cascade trees),
+:mod:`repro.obs.export` (Chrome ``trace_event`` JSON, Prometheus text,
+human-readable reports), and :mod:`repro.obs.slowlog` (threshold-based
+slow-rule log).
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_report,
+    prometheus_text,
+    render_span_tree,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.slowlog import SlowEntry, SlowLog
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowEntry",
+    "SlowLog",
+    "Span",
+    "SpanRecorder",
+    "chrome_trace",
+    "metrics_report",
+    "prometheus_text",
+    "render_span_tree",
+    "write_chrome_trace",
+]

@@ -1,0 +1,92 @@
+"""Threshold-based slow-rule / slow-condition log.
+
+A production rule base misbehaves quietly: one rule's condition starts
+table-scanning, one action starts lock-waiting, and aggregate throughput
+sags with no error anywhere.  The slow log catches the outliers at the
+moment they happen — any condition evaluation, action execution, or other
+instrumented unit that exceeds the threshold is recorded with enough
+context (rule, coupling, transaction) to go straight to ``why_not`` /
+``explain_firing`` for the full story.
+
+Bounded: the newest ``capacity`` entries are kept; older ones are dropped
+(counted).  ``note`` is called on hot paths, so the fast path — duration
+under threshold — is a single compare.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class SlowEntry:
+    """One over-threshold observation."""
+
+    kind: str          #: "condition" | "action" | "commit" | ...
+    name: str          #: rule name / transaction id / unit label
+    seconds: float     #: measured duration
+    threshold: float   #: threshold in force when recorded
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        extra = "".join(" %s=%s" % (key, value)
+                        for key, value in sorted(self.tags.items()))
+        return "%-10s %-24s %8.3fms (threshold %.0fms)%s" % (
+            self.kind, self.name, self.seconds * 1e3,
+            self.threshold * 1e3, extra)
+
+
+class SlowLog:
+    """Bounded, thread-safe log of slow observations."""
+
+    def __init__(self, threshold: float = 0.050, capacity: int = 1000,
+                 enabled: bool = True) -> None:
+        #: duration (seconds) at or above which an observation is recorded
+        self.threshold = threshold
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._entries: Deque[SlowEntry] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def note(self, kind: str, name: str, seconds: float,
+             **tags: Any) -> Optional[SlowEntry]:
+        """Record ``(kind, name)`` if ``seconds`` reaches the threshold.
+
+        Returns the entry if one was recorded (tests use this), else None.
+        """
+        if not self.enabled or seconds < self.threshold:
+            return None
+        entry = SlowEntry(kind, name, seconds, self.threshold, tags)
+        with self._lock:
+            if len(self._entries) == self._entries.maxlen:
+                self.dropped += 1
+            self._entries.append(entry)
+        return entry
+
+    def entries(self, kind: Optional[str] = None) -> List[SlowEntry]:
+        """Recorded entries, oldest first (optionally one kind)."""
+        with self._lock:
+            entries = list(self._entries)
+        if kind is not None:
+            entries = [entry for entry in entries if entry.kind == kind]
+        return entries
+
+    def format(self, last: int = 20) -> str:
+        """Render the newest ``last`` entries, one line each."""
+        entries = self.entries()[-last:]
+        if not entries:
+            return "slow log: empty"
+        return "\n".join(entry.format() for entry in entries)
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        with self._lock:
+            self._entries.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

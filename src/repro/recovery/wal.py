@@ -36,11 +36,13 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time as _time
 import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.core import tracing
+from repro.obs.metrics import HOT_PATH_SAMPLE, MetricsRegistry
 from repro.recovery.serialize import encode_delta
 from repro.txn.undo import DeltaUndo
 
@@ -106,13 +108,21 @@ class WriteAheadLog:
 
     def __init__(self, data_dir: Any, *, fsync: bool = True,
                  tracer: Optional[tracing.Tracer] = None,
-                 start_lsn: int = 0) -> None:
+                 start_lsn: int = 0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.data_dir / WAL_FILENAME
         self.fsync_on_commit = fsync
         self.failed = False
         self._tracer = tracer or tracing.Tracer()
+        self._metrics = metrics or MetricsRegistry(enabled=False)
+        #: append latency is sampled (hot: one record per data operation);
+        #: the fsync histogram is exact — forces are rare, millisecond-scale
+        #: commit points whose percentiles recovery tuning cares about
+        self._append_seconds = self._metrics.histogram(
+            "wal_append_seconds", sample=HOT_PATH_SAMPLE)
+        self._fsync_seconds = self._metrics.histogram("wal_fsync_seconds")
         self._lock = threading.RLock()
         self.stats = {"records": 0, "fsyncs": 0, "commits_forced": 0,
                       "append_failures": 0}
@@ -134,6 +144,8 @@ class WriteAheadLog:
         """Append one record; returns its LSN.  ``force`` additionally
         fsyncs (when the log is configured to fsync at all)."""
         with self._lock:
+            timed = self._append_seconds.should_sample()
+            start = _time.perf_counter() if timed else 0.0
             self._lsn += 1
             record = {"lsn": self._lsn, "type": rtype, "txn": txn_id,
                       "sphere": sphere, "data": data or {}}
@@ -143,6 +155,10 @@ class WriteAheadLog:
             self._file.flush()
             self.stats["records"] += 1
             self._tracer.bump("wal_append")
+            if timed:
+                # Append cost proper: the commit-point force is accounted
+                # separately (wal_fsync_seconds).
+                self._append_seconds.observe(_time.perf_counter() - start)
             if force:
                 self.force()
             return self._lsn
@@ -171,9 +187,13 @@ class WriteAheadLog:
         with self._lock:
             self._file.flush()
             if self.fsync_on_commit:
+                start = (_time.perf_counter()
+                         if self._metrics.enabled else 0.0)
                 os.fsync(self._file.fileno())
                 self.stats["fsyncs"] += 1
                 self._tracer.bump("wal_fsync")
+                if self._metrics.enabled:
+                    self._fsync_seconds.observe(_time.perf_counter() - start)
 
     # ---------------------------------------------------- domain appenders
 

@@ -12,8 +12,9 @@ satisfied.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import List, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional
 
 
 @dataclass
@@ -32,22 +33,33 @@ class RuleFiring:
     deferred: bool = False
     separate_thread: bool = False
     error: Optional[str] = None
+    #: causal span of this firing (set by the Rule Manager when span
+    #: recording is on; excluded from equality — it is observability
+    #: metadata, not part of the firing's identity)
+    span: Optional[Any] = field(default=None, compare=False, repr=False)
 
 
 class FiringLog:
-    """Thread-safe, bounded log of rule firings."""
+    """Thread-safe ring buffer of rule firings.
+
+    Bounded: long-running workloads keep the newest ``capacity`` records
+    at fixed memory; older records are evicted and counted in
+    :attr:`dropped` (exported as a metric by the facade).
+    """
 
     def __init__(self, capacity: int = 100000) -> None:
         self._mutex = threading.Lock()
-        self._records: List[RuleFiring] = []
+        self._records: Deque[RuleFiring] = deque(maxlen=capacity)
         self.capacity = capacity
+        #: records evicted by the ring since construction (or clear())
+        self.dropped = 0
 
     def append(self, record: RuleFiring) -> RuleFiring:
-        """Record one firing (drops oldest beyond capacity)."""
+        """Record one firing (evicts the oldest beyond capacity)."""
         with self._mutex:
+            if len(self._records) == self.capacity:
+                self.dropped += 1
             self._records.append(record)
-            if len(self._records) > self.capacity:
-                del self._records[: len(self._records) - self.capacity]
         return record
 
     def all(self) -> List[RuleFiring]:
@@ -73,7 +85,8 @@ class FiringLog:
     def clear(self) -> None:
         """Drop all records (between experiment phases)."""
         with self._mutex:
-            self._records = []
+            self._records.clear()
+            self.dropped = 0
 
     def __len__(self) -> int:
         with self._mutex:

@@ -30,6 +30,7 @@ through the same path, producing the paper's trees of nested transactions.
 from __future__ import annotations
 
 import threading
+import time as _time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -52,6 +53,10 @@ from repro.events.spec import (
     TemporalEventSpec,
 )
 from repro.events.temporal import TemporalEventDetector
+from repro.obs.metrics import (DEFAULT_SIZE_BUCKETS, HOT_PATH_SAMPLE,
+                                MetricsRegistry)
+from repro.obs.slowlog import SlowLog
+from repro.obs.spans import Span, SpanRecorder
 from repro.objstore.manager import ObjectManager
 from repro.objstore.objects import OID
 from repro.rules.actions import ActionContext
@@ -92,6 +97,9 @@ class RuleManagerConfig:
     max_cascade_depth: int = 64
     max_deferred_rounds: int = 1000
     drain_timeout: float = 60.0
+    #: ring capacity of the firing log (oldest records evicted beyond this;
+    #: evictions are counted on :attr:`FiringLog.dropped`)
+    firing_log_capacity: int = 100000
     #: optional deadline-aware dispatcher for separate-coupling firings
     #: (the [BUC88] time-constrained scheduling integration): when set,
     #: separate firings are submitted to it ordered by the triggering
@@ -111,7 +119,10 @@ class RuleManager:
                  tracer: Optional[tracing.Tracer] = None,
                  clock: Optional[Clock] = None,
                  applications: Any = None,
-                 config: Optional[RuleManagerConfig] = None) -> None:
+                 config: Optional[RuleManagerConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 spans: Optional[SpanRecorder] = None,
+                 slow_log: Optional[SlowLog] = None) -> None:
         self._om = object_manager
         self._txns = txn_manager
         self._evaluator = evaluator
@@ -122,13 +133,31 @@ class RuleManager:
         self._clock = clock or VirtualClock()
         self.applications = applications
         self.config = config or RuleManagerConfig()
+        self._metrics = metrics or MetricsRegistry(enabled=False)
+        self._spans = spans or SpanRecorder(enabled=False)
+        # `is not None`, not truthiness: an empty SlowLog is falsy (len 0).
+        self._slow_log = (slow_log if slow_log is not None
+                          else SlowLog(enabled=False))
+        couplings = (IMMEDIATE, DEFERRED, SEPARATE)
+        self._firing_count = {
+            (ec, ca): self._metrics.counter("rule_firings_total", ec=ec, ca=ca)
+            for ec in couplings for ca in couplings
+        }
+        self._action_seconds = {
+            ca: self._metrics.histogram("rule_action_seconds",
+                                        sample=HOT_PATH_SAMPLE, coupling=ca)
+            for ca in couplings
+        }
+        self._deferred_batch = self._metrics.histogram(
+            "deferred_batch_size", buckets=DEFAULT_SIZE_BUCKETS)
 
         #: detector for transaction-control events ("the Transaction Manager
         #: ... acts as an event detector", §5.2); its sink is this manager
         self.txn_detector = DatabaseEventDetector(
             object_manager.store.schema, sink=self.signal_event,
             tracer=self._tracer, component=tracing.TRANSACTION_MANAGER,
-            indexed_dispatch=object_manager.event_detector.indexed_dispatch)
+            indexed_dispatch=object_manager.event_detector.indexed_dispatch,
+            metrics=self._metrics)
         self.txn_detector.sink_batch = self.signal_event_batch
 
         #: write-ahead log; None while the system runs in-memory only
@@ -140,7 +169,7 @@ class RuleManager:
         self._pending = threading.local()
         self._depth = threading.local()
 
-        self.firings = FiringLog()
+        self.firings = FiringLog(capacity=self.config.firing_log_capacity)
         self.background_errors: List[Tuple[str, str]] = []
         self._threads: Set[threading.Thread] = set()
         self._threads_cv = threading.Condition()
@@ -298,11 +327,18 @@ class RuleManager:
                 % (self.config.max_cascade_depth, signals[0].describe())
             )
         self._depth.value = depth + 1
+        # All signals in a batch are spec-tagged copies of one operation;
+        # per-operation processing uses the first.
+        base = signals[0]
+        espan = None
+        if self._spans.enabled:
+            described = base.describe()
+            espan = self._spans.start_span(
+                "event:%s" % described, kind="event",
+                event=described, depth=depth,
+                txn=base.txn.txn_id if base.txn is not None else None)
         try:
             self.stats["signals"] += len(signals)
-            # All signals in a batch are spec-tagged copies of one
-            # operation; per-operation processing uses the first.
-            base = signals[0]
             if base.kind == "database" and base.class_name == RULE_CLASS:
                 self._manage_rule_object(base)
             # Feed the temporal detector (baselines of relative/periodic
@@ -325,6 +361,7 @@ class RuleManager:
                                                 entry[0].name))
                 self._process_firings(entries)
         finally:
+            self._spans.finish_span(espan)
             self._depth.value = depth
 
     def transaction_event(self, kind: str, txn: Transaction) -> None:
@@ -558,6 +595,11 @@ class RuleManager:
             target = txn.top_level() if self.config.defer_to_top_level else txn
             for rule, signal in deferred:
                 self.stats["deferred_queued"] += 1
+                if self._spans.enabled:
+                    # Causality bridge across the event->commit time gap
+                    # (§6.3): the firing span opened at commit hangs off
+                    # the event span that queued it, not off the commit.
+                    signal._obs_span = self._spans.current()
                 target.add_deferred_condition((rule, signal))
                 self.firings.append(RuleFiring(
                     rule.name, signal.describe(), rule.ec_coupling,
@@ -656,14 +698,29 @@ class RuleManager:
                             coupling: str) -> Tuple[RuleFiring, ConditionOutcome]:
         """Evaluate one rule's condition in a new subtransaction of
         ``parent`` (fire takes a read lock on the rule object)."""
+        # Explicit span parent for deferred firings (queued at event time,
+        # fired at commit); immediate firings nest via the thread stack.
+        fspan = cspan = None
+        if self._spans.enabled:
+            fspan = self._spans.start_span(
+                "fire:%s" % rule.name, kind="firing",
+                parent=getattr(signal, "_obs_span", None),
+                rule=rule.name, ec=rule.ec_coupling, ca=rule.ca_coupling,
+                coupling=coupling)
+        if self._metrics.enabled:
+            self._firing_count[(rule.ec_coupling, rule.ca_coupling)].inc()
         ctxn = self._txns.create_transaction(parent=parent,
                                              source=tracing.RULE_MANAGER,
                                              label="cond:%s" % rule.name,
                                              internal=True)
         firing = RuleFiring(rule.name, signal.describe(), rule.ec_coupling,
                             rule.ca_coupling, triggering_txn=parent.txn_id,
-                            condition_txn=ctxn.txn_id)
+                            condition_txn=ctxn.txn_id, span=fspan)
         self.firings.append(firing)
+        if fspan is not None:
+            cspan = self._spans.start_span("cond:%s" % rule.name,
+                                           kind="condition", rule=rule.name,
+                                           coupling=coupling, txn=ctxn.txn_id)
         try:
             if rule.oid is not None:
                 # "Firing requires a read lock" (§2.2).
@@ -673,12 +730,17 @@ class RuleManager:
                 rule.condition, signal, ctxn, coupling=coupling, memo=memo)
             self._txns.commit_transaction(ctxn, source=tracing.RULE_MANAGER)
             firing.satisfied = outcome.satisfied
+            if fspan is not None:
+                fspan.tags["satisfied"] = outcome.satisfied
             return firing, outcome
         except BaseException as exc:
             firing.error = str(exc)
             if not ctxn.is_finished():
                 self._txns.abort_transaction(ctxn, source=tracing.RULE_MANAGER)
             raise
+        finally:
+            self._spans.finish_span(cspan)
+            self._spans.finish_span(fspan)
 
     def _execute_action(self, rule: Rule, firing: RuleFiring,
                         outcome: ConditionOutcome, signal: EventSignal,
@@ -689,6 +751,17 @@ class RuleManager:
                                              label="act:%s" % rule.name,
                                              internal=True)
         firing.action_txn = atxn.txn_id
+        # The action hangs off its firing span (which may already be
+        # finished — deferred C-A runs at commit, long after the condition).
+        aspan = None
+        if self._spans.enabled:
+            aspan = self._spans.start_span("act:%s" % rule.name, kind="action",
+                                           parent=firing.span, rule=rule.name,
+                                           coupling=rule.ca_coupling,
+                                           txn=atxn.txn_id)
+        hist = self._action_seconds[rule.ca_coupling]
+        timed = hist.should_sample()
+        start = _time.perf_counter() if timed else 0.0
         try:
             ctx = ActionContext(
                 object_manager=self._om, txn=atxn, signal=signal,
@@ -704,6 +777,15 @@ class RuleManager:
             if not atxn.is_finished():
                 self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
             raise
+        finally:
+            if timed:
+                elapsed = _time.perf_counter() - start
+                hist.observe(elapsed)
+                if elapsed >= self._slow_log.threshold:
+                    self._slow_log.note("rule-action", rule.name, elapsed,
+                                        coupling=rule.ca_coupling,
+                                        txn=atxn.txn_id)
+            self._spans.finish_span(aspan)
 
     def _signal_external(self, name: str, args: Dict[str, Any],
                          txn: Optional[Transaction]) -> Any:
@@ -722,9 +804,14 @@ class RuleManager:
         With ``rule.separate_dependent`` (extension), the launch waits for
         the triggering transaction's top-level commit and is discarded on
         abort."""
+        # The new thread starts with an empty span stack; causality is the
+        # span active on the *launching* thread, captured here.
+        launch_span = self._spans.current() if self._spans.enabled else None
+
         def body() -> None:
             try:
-                firing, outcome = self._separate_condition(rule, signal)
+                firing, outcome = self._separate_condition(rule, signal,
+                                                           launch_span)
             except TransactionAborted:
                 return  # recorded on the firing; separate work just stops
             except Exception as exc:
@@ -741,7 +828,16 @@ class RuleManager:
         else:
             self._spawn(body, rule.name, deadline=rule.deadline)
 
-    def _separate_condition(self, rule: Rule, signal: EventSignal):
+    def _separate_condition(self, rule: Rule, signal: EventSignal,
+                            launch_span: Optional[Span] = None):
+        fspan = cspan = None
+        if self._spans.enabled:
+            fspan = self._spans.start_span(
+                "fire:%s" % rule.name, kind="firing", parent=launch_span,
+                rule=rule.name, ec=rule.ec_coupling, ca=rule.ca_coupling,
+                coupling=SEPARATE, separate_thread=True)
+        if self._metrics.enabled:
+            self._firing_count[(rule.ec_coupling, rule.ca_coupling)].inc()
         stxn = self._txns.create_transaction(source=tracing.RULE_MANAGER,
                                              label="sep-cond:%s" % rule.name,
                                              internal=True)
@@ -749,8 +845,13 @@ class RuleManager:
                             rule.ca_coupling,
                             triggering_txn=(signal.txn.txn_id
                                             if signal.txn is not None else None),
-                            condition_txn=stxn.txn_id, separate_thread=True)
+                            condition_txn=stxn.txn_id, separate_thread=True,
+                            span=fspan)
         self.firings.append(firing)
+        if fspan is not None:
+            cspan = self._spans.start_span("cond:%s" % rule.name,
+                                           kind="condition", rule=rule.name,
+                                           coupling=SEPARATE, txn=stxn.txn_id)
         try:
             if rule.oid is not None:
                 self._om.read(rule.oid, stxn, source=tracing.RULE_MANAGER)
@@ -758,6 +859,10 @@ class RuleManager:
             outcome = self._evaluator.evaluate(
                 rule.condition, signal, stxn, coupling=SEPARATE)
             firing.satisfied = outcome.satisfied
+            if fspan is not None:
+                fspan.tags["satisfied"] = outcome.satisfied
+            self._spans.finish_span(cspan)
+            cspan = None
             if outcome.satisfied:
                 self._route_action(rule, firing, outcome, signal, stxn)
             self._txns.commit_transaction(stxn, source=tracing.RULE_MANAGER)
@@ -767,6 +872,9 @@ class RuleManager:
             if not stxn.is_finished():
                 self._txns.abort_transaction(stxn, source=tracing.RULE_MANAGER)
             raise
+        finally:
+            self._spans.finish_span(cspan)
+            self._spans.finish_span(fspan)
 
     def _launch_separate_action(self, rule: Rule, firing: RuleFiring,
                                 outcome: ConditionOutcome,
@@ -777,6 +885,14 @@ class RuleManager:
                                                  internal=True)
             firing.action_txn = atxn.txn_id
             firing.separate_thread = True
+            aspan = None
+            if self._spans.enabled:
+                aspan = self._spans.start_span(
+                    "act:%s" % rule.name, kind="action", parent=firing.span,
+                    rule=rule.name, coupling=SEPARATE, txn=atxn.txn_id)
+            hist = self._action_seconds[SEPARATE]
+            timed = hist.should_sample()
+            start = _time.perf_counter() if timed else 0.0
             try:
                 ctx = ActionContext(
                     object_manager=self._om, txn=atxn, signal=signal,
@@ -796,6 +912,15 @@ class RuleManager:
                 self.background_errors.append((rule.name, str(exc)))
                 if not atxn.is_finished():
                     self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
+            finally:
+                if timed:
+                    elapsed = _time.perf_counter() - start
+                    hist.observe(elapsed)
+                    if elapsed >= self._slow_log.threshold:
+                        self._slow_log.note("rule-action", rule.name, elapsed,
+                                            coupling=SEPARATE,
+                                            txn=atxn.txn_id)
+                self._spans.finish_span(aspan)
 
         self._spawn(body, rule.name, deadline=rule.deadline)
 
@@ -859,27 +984,39 @@ class RuleManager:
         the action."  Deferred work may queue further deferred work (e.g.
         deferred C-A after a deferred condition); rounds repeat until the
         set drains."""
-        rounds = 0
-        while txn.has_deferred_work():
-            rounds += 1
-            if rounds > self.config.max_deferred_rounds:
-                raise RuleError(
-                    "deferred rule firings did not quiesce after %d rounds"
-                    % self.config.max_deferred_rounds)
-            conditions = txn.deferred_conditions
-            txn.deferred_conditions = []
-            actions = txn.deferred_actions
-            txn.deferred_actions = []
-            memo: Memo = {}
-            satisfied: List[Tuple[Rule, RuleFiring, ConditionOutcome, EventSignal]] = []
-            for rule, signal in conditions:
-                if not rule.enabled:
-                    continue
-                firing, outcome = self._evaluate_condition(
-                    rule, signal, txn, memo, DEFERRED)
-                if outcome.satisfied:
-                    satisfied.append((rule, firing, outcome, signal))
-            for rule, firing, outcome, signal in satisfied:
-                self._route_action(rule, firing, outcome, signal, txn)
-            for rule, signal, outcome, firing in actions:
-                self._execute_action(rule, firing, outcome, signal, txn)
+        if not txn.has_deferred_work():
+            return
+        bspan = None
+        if self._spans.enabled:
+            bspan = self._spans.start_span("deferred:%s" % txn.txn_id,
+                                           kind="deferred_batch",
+                                           txn=txn.txn_id)
+        try:
+            rounds = 0
+            while txn.has_deferred_work():
+                rounds += 1
+                if rounds > self.config.max_deferred_rounds:
+                    raise RuleError(
+                        "deferred rule firings did not quiesce after %d rounds"
+                        % self.config.max_deferred_rounds)
+                conditions = txn.deferred_conditions
+                txn.deferred_conditions = []
+                actions = txn.deferred_actions
+                txn.deferred_actions = []
+                if self._metrics.enabled:
+                    self._deferred_batch.observe(len(conditions) + len(actions))
+                memo: Memo = {}
+                satisfied: List[Tuple[Rule, RuleFiring, ConditionOutcome, EventSignal]] = []
+                for rule, signal in conditions:
+                    if not rule.enabled:
+                        continue
+                    firing, outcome = self._evaluate_condition(
+                        rule, signal, txn, memo, DEFERRED)
+                    if outcome.satisfied:
+                        satisfied.append((rule, firing, outcome, signal))
+                for rule, firing, outcome, signal in satisfied:
+                    self._route_action(rule, firing, outcome, signal, txn)
+                for rule, signal, outcome, firing in actions:
+                    self._execute_action(rule, firing, outcome, signal, txn)
+        finally:
+            self._spans.finish_span(bspan)

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import DeadlockError, LockTimeout, TransactionStateError
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.txn.transaction import Transaction
@@ -154,7 +155,8 @@ class LockManager:
     evaluation work.
     """
 
-    def __init__(self, default_timeout: float = 10.0) -> None:
+    def __init__(self, default_timeout: float = 10.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._cond = threading.Condition()
         self._table: Dict[LockResource, _LockEntry] = {}
         #: transactions currently blocked -> the set of transactions they wait on
@@ -162,6 +164,11 @@ class LockManager:
         self.default_timeout = default_timeout
         #: statistics for benchmarks
         self.stats = {"acquired": 0, "waited": 0, "deadlocks": 0, "timeouts": 0}
+        self._metrics = metrics or MetricsRegistry(enabled=False)
+        #: blocked-time histogram: observed only when a request actually
+        #: waited (grant, timeout, or deadlock) — the uncontended fast path
+        #: never reads the clock for it
+        self._wait_seconds = self._metrics.histogram("lock_wait_seconds")
 
     # ----------------------------------------------------------- acquire
 
@@ -200,6 +207,9 @@ class LockManager:
                 if self._closes_cycle(txn, blockers):
                     del self._waits_for[txn]
                     self.stats["deadlocks"] += 1
+                    if waited:
+                        self._wait_seconds.observe(
+                            _time.monotonic() - (deadline - wait_budget))
                     raise DeadlockError(
                         "deadlock: %s waiting for %s held by %s"
                         % (txn.txn_id, resource,
@@ -224,6 +234,8 @@ class LockManager:
                     if not self._conflicting_holders(txn, entry, mode):
                         break
                     self.stats["timeouts"] += 1
+                    self._wait_seconds.observe(
+                        _time.monotonic() - (deadline - wait_budget))
                     raise LockTimeout(
                         "transaction %s timed out waiting for %s on %s"
                         % (txn.txn_id, mode, resource)
@@ -235,6 +247,8 @@ class LockManager:
             txn.held_locks[resource] = new_mode
             self.stats["acquired"] += 1
             if waited:
+                self._wait_seconds.observe(
+                    _time.monotonic() - (deadline - wait_budget))
                 # Others may have been enabled by table changes along the way.
                 self._cond.notify_all()
 

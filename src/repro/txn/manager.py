@@ -18,10 +18,12 @@ benchmarks.
 from __future__ import annotations
 
 import threading
+import time as _time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core import tracing
 from repro.errors import TransactionStateError
+from repro.obs.metrics import HOT_PATH_SAMPLE, MetricsRegistry
 from repro.txn.locks import LockManager
 from repro.txn.transaction import (
     ABORTED,
@@ -42,10 +44,22 @@ class TransactionManager:
     """Creates, commits, and aborts (nested) transactions."""
 
     def __init__(self, lock_manager: Optional[LockManager] = None,
-                 tracer: Optional[tracing.Tracer] = None) -> None:
+                 tracer: Optional[tracing.Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.locks = lock_manager or LockManager()
         self._ids = IdGenerator("t")
         self._tracer = tracer or tracing.Tracer()
+        self._metrics = metrics or MetricsRegistry(enabled=False)
+        #: commit latency includes §6.3 deferred rule processing — it is
+        #: the user-visible cost of "commit returned".  Only top-level
+        #: commits are timed: a nested commit is lock migration (no WAL
+        #: force, no durability point) and rule subtransactions commit
+        #: several times per firing — timing them would cost more than the
+        #: work measured.
+        self._commit_seconds = self._metrics.histogram("txn_commit_seconds",
+                                                       sample=HOT_PATH_SAMPLE,
+                                                       scope="top")
+        self._abort_seconds = self._metrics.histogram("txn_abort_seconds")
         #: rule-manager hook; None until the facade wires the system
         self.event_sink: Optional[TransactionEventSink] = None
         #: whether begin/commit/abort produce rule-triggering events
@@ -112,6 +126,8 @@ class TransactionManager:
         """
         self._tracer.record(source, tracing.TRANSACTION_MANAGER,
                             "commit_transaction", txn.txn_id)
+        timed = txn.parent is None and self._commit_seconds.should_sample()
+        start = _time.perf_counter() if timed else 0.0
         txn.require_active()
         active_children = txn.active_children()
         if active_children:
@@ -168,6 +184,8 @@ class TransactionManager:
             txn.on_commit = []
             if self.checkpointer is not None:
                 self.checkpointer.maybe_checkpoint()
+        if timed:
+            self._commit_seconds.observe(_time.perf_counter() - start)
 
     # -------------------------------------------------------------- abort
 
@@ -184,6 +202,7 @@ class TransactionManager:
                             "abort_transaction", txn.txn_id)
         if txn.state == ABORTED:
             return
+        start = _time.perf_counter() if self._metrics.enabled else 0.0
         if txn.state == COMMITTED:
             raise TransactionStateError(
                 "cannot abort committed transaction %s" % txn.txn_id
@@ -212,6 +231,8 @@ class TransactionManager:
             hook(txn)
         txn.on_abort = []
         txn.on_commit = []
+        if self._metrics.enabled:
+            self._abort_seconds.observe(_time.perf_counter() - start)
         if self.event_sink is not None and self.signal_transaction_events:
             self._signal("abort", txn)
 
