@@ -32,6 +32,7 @@ from repro.conditions import Condition, ConditionOutcome
 from repro.errors import (
     AccessDenied,
     ApplicationError,
+    CascadeLimitExceeded,
     ConditionError,
     DeadlockError,
     EventError,
@@ -181,6 +182,7 @@ __all__ = [
     "LockTimeout",
     "EventError",
     "RuleError",
+    "CascadeLimitExceeded",
     "ConditionError",
     "ApplicationError",
     "IntegrityViolation",

@@ -24,6 +24,7 @@ evaluates immediate-group conditions in concurrent sibling subtransactions.
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.apps.interface import ApplicationInterface
@@ -38,8 +39,10 @@ from repro.events.spec import ExternalEventSpec
 from repro.events.temporal import TemporalEventDetector
 from repro.obs import export as obs_export
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import RuleProfiler
 from repro.obs.slowlog import SlowLog
 from repro.obs.spans import SpanRecorder
+from repro.obs.watchdog import Watchdog, WatchdogConfig
 from repro.objstore.manager import ObjectManager
 from repro.objstore.objects import OID
 from repro.objstore.operations import DefineClass, DropClass, Operation
@@ -72,7 +75,8 @@ class HiPAC:
                  observability: Union[bool, str] = True,
                  span_capacity: int = 1024,
                  slow_threshold: float = 0.050,
-                 firing_log_capacity: Optional[int] = None) -> None:
+                 firing_log_capacity: Optional[int] = None,
+                 watchdog: Optional[WatchdogConfig] = None) -> None:
         self.tracer = tracing.Tracer()
         self.clock = clock or VirtualClock()
         #: observability levels:
@@ -96,12 +100,20 @@ class HiPAC:
                                   enabled=observability == "trace")
         self.slow_log = SlowLog(threshold=slow_threshold,
                                 enabled=bool(observability))
+        #: anomaly watchdogs (rule storm, cascade depth, deferred-queue
+        #: blowup, lock-wait spikes).  Alert recording stays on even with
+        #: observability=False — its feeds are per-firing/per-wait events,
+        #: never per-operation, and a guard against runaway rule sets is
+        #: not an instrument to ablate.  Thresholds come from the
+        #: :class:`~repro.obs.watchdog.WatchdogConfig` ``watchdog`` knob.
+        self.watchdog = Watchdog(config=watchdog)
         config = config or RuleManagerConfig()
         if firing_log_capacity is not None:
             config.firing_log_capacity = firing_log_capacity
         self.store = ObjectStore()
         self.locks = LockManager(default_timeout=lock_timeout,
-                                 metrics=self.metrics)
+                                 metrics=self.metrics,
+                                 watchdog=self.watchdog)
         self.transaction_manager = TransactionManager(self.locks, self.tracer,
                                                       metrics=self.metrics)
         self.transaction_manager.signal_transaction_events = signal_transaction_events
@@ -128,7 +140,8 @@ class HiPAC:
             self.external_detector, self.composite_detector,
             tracer=self.tracer, clock=self.clock,
             applications=self.applications, config=config,
-            metrics=self.metrics, spans=self.spans, slow_log=self.slow_log)
+            metrics=self.metrics, spans=self.spans, slow_log=self.slow_log,
+            watchdog=self.watchdog)
         # Figure 5.1 wiring: every detector reports to the Rule Manager; the
         # Transaction Manager signals transaction termination to it.  The
         # database detector additionally delivers all reports of one
@@ -141,6 +154,9 @@ class HiPAC:
         self.composite_detector.sink = self.rule_manager.signal_event
         self.transaction_manager.event_sink = self.rule_manager.transaction_event
         self.metrics.add_collector(self._collect_component_stats)
+        #: embedded admin HTTP server (started on demand, see serve_admin)
+        self._admin: Optional[Any] = None
+        self._started_at = time.time()
         self._bootstrap()
         #: durability wiring (None / "wal"); see _enable_durability
         self.wal: Optional[Any] = None
@@ -213,7 +229,10 @@ class HiPAC:
         return self._recovery_report
 
     def close(self) -> None:
-        """Flush and close the WAL (no-op for in-memory instances)."""
+        """Stop the admin server (if serving) and flush/close the WAL."""
+        if self._admin is not None:
+            self._admin.close()
+            self._admin = None
         if self.wal is not None:
             self.wal.close()
 
@@ -430,6 +449,76 @@ class HiPAC:
         """The registry in Prometheus text exposition format."""
         return obs_export.prometheus_text(self.metrics)
 
+    def serve_admin(self, port: int = 0, host: str = "127.0.0.1") -> Any:
+        """Start (or return) the embedded admin HTTP endpoint.
+
+        Serves ``/metrics`` (Prometheus text), ``/health`` (watchdog
+        status JSON; 503 when failing), ``/stats`` (the :meth:`stats`
+        snapshot plus derived gauges), ``/profile`` (rule-cascade
+        profiler), and ``/trace`` (Chrome trace download under
+        ``observability="trace"``) on a daemon thread.  ``port=0`` binds
+        an ephemeral port; read the bound address from the returned
+        server's ``url``.  Idempotent: a second call returns the running
+        server.  :meth:`close` shuts it down.
+        """
+        if self._admin is not None and self._admin.running:
+            return self._admin
+        from repro.obs.server import AdminServer
+        self._admin = AdminServer(self, host=host, port=port)
+        return self._admin
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness/anomaly summary backing the admin ``/health`` endpoint.
+
+        Runs the watchdog's pull-path checks, then escalates on failure
+        signals the watchdog does not see: WAL append failures mean
+        durability is broken (``failing``), background separate-firing
+        errors mean rule work is silently dying (at least ``degraded``).
+        """
+        report = self.watchdog.health()
+        background_errors = len(self.rule_manager.background_errors)
+        wal_failures = 0
+        if self.wal is not None:
+            wal_failures = self.wal.stats.get("append_failures", 0)
+        if wal_failures > 0:
+            report["status"] = "failing"
+        elif background_errors > 0 and report["status"] == "ok":
+            report["status"] = "degraded"
+        report["wal_append_failures"] = wal_failures
+        report["background_rule_errors"] = background_errors
+        report["live_transactions"] = \
+            len(self.transaction_manager.live_transactions())
+        return report
+
+    def admin_stats(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: server time + uptime (so pollers like
+        ``repro.tools.top`` can compute rates from successive snapshots),
+        the full :meth:`stats` tree, and live derived gauges."""
+        live = self.transaction_manager.live_transactions()
+        return {
+            "time": time.time(),
+            "uptime": time.time() - self._started_at,
+            "stats": self.stats(),
+            "derived": {
+                "live_transactions": len(live),
+                "deferred_queue_depth": sum(
+                    len(txn.deferred_conditions) + len(txn.deferred_actions)
+                    for txn in live),
+            },
+        }
+
+    def rule_profiler(self) -> RuleProfiler:
+        """A :class:`~repro.obs.profiler.RuleProfiler` over the current
+        firing log and span trees (timing columns require
+        ``observability="trace"``)."""
+        return RuleProfiler(self.rule_manager.firings, self.spans)
+
+    def rule_profile(self, top: int = 10) -> str:
+        """Per-rule cost attribution report: firings, condition
+        selectivity, self vs. cascade-inclusive time, and who-triggers-whom
+        edges for the ``top`` hottest rules."""
+        return self.rule_profiler().report(top=top)
+
     def _collect_component_stats(self) -> Dict[str, float]:
         """Pull-time metrics collector: flattens every component ``stats``
         section as ``<section>_<key>`` and derives the live deferred-queue
@@ -497,6 +586,8 @@ class HiPAC:
             "condition_graph": dict(self.condition_evaluator.graph.stats),
             "applications": dict(self.applications.stats),
             "recovery": recovery,
+            "watchdog": dict(self.watchdog.stats,
+                             alerts_dropped=self.watchdog.dropped),
             "obs": {
                 "spans_retained": len(self.spans.roots()),
                 "spans_dropped": self.spans.dropped,

@@ -81,6 +81,22 @@ class RuleError(HiPACError):
     manually, ...)."""
 
 
+class CascadeLimitExceeded(RuleError):
+    """A rule cascade exceeded the configured depth bound.
+
+    Raised by the Rule Manager when recursive rule triggering (rules whose
+    actions signal events that trigger further rules) reaches
+    ``RuleManagerConfig.max_cascade_depth`` — the runtime guard against the
+    non-terminating rule sets the execution model makes possible.  The
+    signalling transaction is aborted by the normal error path; the depth
+    at which the cascade was cut is available as :attr:`depth`.
+    """
+
+    def __init__(self, message: str, *, depth: int = 0) -> None:
+        super().__init__(message)
+        self.depth = depth
+
+
 class ConditionError(HiPACError):
     """A rule condition was malformed or could not be evaluated."""
 

@@ -1,11 +1,16 @@
-"""Observability: metrics registry, causal spans, exporters, slow log.
+"""Observability: metrics registry, causal spans, exporters, slow log,
+rule-cascade profiler, anomaly watchdogs, admin HTTP endpoint.
 
 One surface for "where does the time go" across the Figure 5.1
 components — see :mod:`repro.obs.metrics` (counters / gauges / histograms
 with percentiles), :mod:`repro.obs.spans` (causal rule-cascade trees),
 :mod:`repro.obs.export` (Chrome ``trace_event`` JSON, Prometheus text,
-human-readable reports), and :mod:`repro.obs.slowlog` (threshold-based
-slow-rule log).
+human-readable reports), :mod:`repro.obs.slowlog` (threshold-based
+slow-rule log), :mod:`repro.obs.profiler` (per-rule cost attribution),
+:mod:`repro.obs.watchdog` (rule-storm / cascade-depth / deferred-queue /
+lock-wait anomaly detectors), and :mod:`repro.obs.server` (the embedded
+``/metrics`` / ``/health`` / ``/stats`` / ``/profile`` / ``/trace``
+admin endpoint behind ``HiPAC.serve_admin()``).
 """
 
 from repro.obs.export import (
@@ -23,22 +28,39 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profiler import RuleProfile, RuleProfiler, percentile_of
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, AdminServer
 from repro.obs.slowlog import SlowEntry, SlowLog
 from repro.obs.spans import Span, SpanRecorder
+from repro.obs.watchdog import (
+    Alert,
+    Watchdog,
+    WatchdogConfig,
+    disabled_watchdog,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "AdminServer",
+    "Alert",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RuleProfile",
+    "RuleProfiler",
     "SlowEntry",
     "SlowLog",
     "Span",
     "SpanRecorder",
+    "Watchdog",
+    "WatchdogConfig",
     "chrome_trace",
+    "disabled_watchdog",
     "metrics_report",
+    "percentile_of",
     "prometheus_text",
     "render_span_tree",
     "write_chrome_trace",

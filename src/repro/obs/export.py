@@ -101,6 +101,23 @@ def write_chrome_trace(source: Any, path: Any) -> Dict[str, Any]:
 
 # --------------------------------------------------------------- prometheus
 
+#: help strings for the instrument families the system creates (exposed as
+#: ``# HELP`` lines; families not listed get a generated fallback)
+HELP_TEXTS: Dict[str, str] = {
+    "rule_firings_total": "Rule firings by E-C and C-A coupling mode",
+    "rule_action_seconds": "Rule action execution latency (sampled)",
+    "deferred_batch_size": "Deferred rule firings drained per commit round",
+    "txn_commit_seconds":
+        "Top-level commit latency including deferred rule processing",
+    "txn_abort_seconds": "Transaction abort latency",
+    "lock_wait_seconds": "Time lock requests spent blocked",
+    "om_operation_seconds": "Object Manager operation latency (sampled)",
+    "cond_eval_seconds": "Condition evaluation latency (sampled)",
+    "wal_append_seconds": "WAL record append latency (sampled)",
+    "wal_fsync_seconds": "WAL force (fsync) latency",
+}
+
+
 def _prom_value(value: float) -> str:
     if value == float("inf"):
         return "+Inf"
@@ -117,35 +134,72 @@ def _prom_key(name: str) -> str:
     return key if not key[:1].isdigit() else "_" + key
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash, double
+    quote, and newline."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_sample_name(name: str, labels: Any) -> str:
+    """Render ``name{k="v",...}`` with exposition-format label escaping
+    (``labels`` is a ``((key, value), ...)`` tuple)."""
+    if not labels:
+        return name
+    inner = ",".join('%s="%s"' % (_prom_key(key), _escape_label_value(value))
+                     for key, value in labels)
+    return "%s{%s}" % (name, inner)
+
+
+def _family_header(lines: List[str], seen: set, name: str, raw_name: str,
+                   kind: str) -> None:
+    """Emit the ``# HELP`` / ``# TYPE`` pair once per metric family."""
+    if name in seen:
+        return
+    seen.add(name)
+    help_text = HELP_TEXTS.get(raw_name, "hipac metric %s" % raw_name)
+    lines.append("# HELP %s %s" % (name, _escape_help(help_text)))
+    lines.append("# TYPE %s %s" % (name, kind))
+
+
 def prometheus_text(registry: MetricsRegistry,
                     prefix: str = "hipac_") -> str:
-    """Render the registry in the Prometheus text exposition format."""
+    """Render the registry in the Prometheus text exposition format.
+
+    ``# HELP``/``# TYPE`` lines are emitted once per metric *family*
+    (labeled children of one name share them), and label values are
+    escaped per the format (``\\``, ``"``, newline) so rule names and
+    event descriptions cannot corrupt the exposition.
+    """
     lines: List[str] = []
-    typed: set = set()
+    seen: set = set()
     for instrument in registry.instruments():
         name = prefix + _prom_key(instrument.name)
         labels = instrument.labels
         if instrument.kind in ("counter", "gauge"):
-            if name not in typed:
-                lines.append("# TYPE %s %s" % (name, instrument.kind))
-                typed.add(name)
-            lines.append("%s %s" % (format_name(name, labels),
+            _family_header(lines, seen, name, instrument.name,
+                           instrument.kind)
+            lines.append("%s %s" % (_prom_sample_name(name, labels),
                                     _prom_value(instrument.value)))
             continue
-        if name not in typed:
-            lines.append("# TYPE %s histogram" % name)
-            typed.add(name)
+        _family_header(lines, seen, name, instrument.name, "histogram")
         for bound, cumulative in instrument.buckets():
             bucket_labels = labels + (("le", _prom_value(bound)),)
-            lines.append("%s %d" % (format_name(name + "_bucket",
-                                                bucket_labels), cumulative))
-        lines.append("%s %s" % (format_name(name + "_sum", labels),
+            lines.append("%s %d" % (_prom_sample_name(name + "_bucket",
+                                                      bucket_labels),
+                                    cumulative))
+        lines.append("%s %s" % (_prom_sample_name(name + "_sum", labels),
                                 _prom_value(instrument.sum)))
-        lines.append("%s %d" % (format_name(name + "_count", labels),
+        lines.append("%s %d" % (_prom_sample_name(name + "_count", labels),
                                 instrument.count))
     for key, value in sorted(registry.collected().items()):
         name = prefix + _prom_key(key)
-        lines.append("# TYPE %s untyped" % name)
+        _family_header(lines, seen, name, key, "untyped")
         lines.append("%s %s" % (name, _prom_value(float(value))))
     return "\n".join(lines) + "\n"
 

@@ -277,9 +277,17 @@ class Histogram:
                 continue
             if index >= len(self._bounds):
                 return merged.max
-            lower = (self._bounds[index - 1] if index > 0
-                     else min(merged.min, self._bounds[0]))
+            # Interpolate within the winning bucket rather than reporting
+            # its upper bound (which overstates small latencies).  The
+            # observed global min/max tighten the bucket's range when the
+            # distribution's extremes fall inside it — in particular a
+            # single-valued histogram reports that value exactly.
+            lower = self._bounds[index - 1] if index > 0 else 0.0
             upper = self._bounds[index]
+            if merged.min > lower:
+                lower = min(merged.min, upper)
+            if merged.max < upper:
+                upper = max(merged.max, lower)
             fraction = (target - previous) / bucket_count
             return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
         return merged.max

@@ -1,0 +1,202 @@
+"""Embedded admin HTTP endpoint: serve the telemetry to scrapers and humans.
+
+PR 3 built the instruments; this module puts them on the wire.  A
+:class:`AdminServer` wraps one HiPAC instance in a stdlib
+``ThreadingHTTPServer`` on a daemon thread (``HiPAC.serve_admin(port=...)``)
+and exposes:
+
+* ``GET /metrics``  — Prometheus text exposition (scrape target);
+* ``GET /health``   — JSON liveness: ``ok`` / ``degraded`` / ``failing``
+  derived from the watchdog alert state and WAL append failures; the HTTP
+  status mirrors it (200 while serving traffic is safe, 503 when failing)
+  so load balancers can act on it without parsing the body;
+* ``GET /stats``    — the full ``HiPAC.stats()`` tree as JSON, plus the
+  live derived gauges (live transactions, deferred-queue depth) and
+  server time, which the ``repro.tools.top`` dashboard polls for rates;
+* ``GET /profile``  — per-rule cost attribution (JSON; ``?top=N`` bounds
+  it, ``?format=text`` renders the hottest-rules table);
+* ``GET /trace``    — the Chrome ``trace_event`` document of the retained
+  span trees (only meaningful under ``observability="trace"``; otherwise
+  409, because an empty trace would read as "nothing happened");
+* ``GET /``         — a plain-text index of the above.
+
+Handlers only *read*: every endpoint is pull-path aggregation (merging
+histogram shards, folding the firing log), so scrapes cost the serving
+thread, not the workload's hot path.  The server is concurrent
+(thread-per-request, all daemons) and shuts down cleanly via
+:meth:`AdminServer.close`, which ``HiPAC.close()`` calls too.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _int_param(query: Dict[str, Any], name: str, default: int) -> int:
+    try:
+        return int(query.get(name, [default])[0])
+    except (TypeError, ValueError, IndexError):
+        return default
+
+
+class _AdminHandler(BaseHTTPRequestHandler):
+    """Routes one request against the owning server's HiPAC instance."""
+
+    server_version = "hipac-admin/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (the request counter on the
+        server is the observable)."""
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        db = self.server.db  # type: ignore[attr-defined]
+        self.server.request_count += 1  # type: ignore[attr-defined]
+        try:
+            route = {
+                "/": self._index,
+                "/metrics": self._metrics,
+                "/health": self._health,
+                "/stats": self._stats,
+                "/profile": self._profile,
+                "/trace": self._trace,
+            }.get(parsed.path)
+            if route is None:
+                self._send(404, "text/plain; charset=utf-8",
+                           "unknown path %r\n%s" % (parsed.path,
+                                                    _INDEX_TEXT))
+                return
+            route(db, query)
+        except Exception as exc:  # pragma: no cover - defensive 500 path
+            self.server.error_count += 1  # type: ignore[attr-defined]
+            try:
+                self._send(500, "text/plain; charset=utf-8",
+                           "internal error: %s" % exc)
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------ endpoints
+
+    def _index(self, db: Any, query: Dict[str, Any]) -> None:
+        self._send(200, "text/plain; charset=utf-8", _INDEX_TEXT)
+
+    def _metrics(self, db: Any, query: Dict[str, Any]) -> None:
+        self._send(200, PROMETHEUS_CONTENT_TYPE, db.prometheus_metrics())
+
+    def _health(self, db: Any, query: Dict[str, Any]) -> None:
+        health = db.health()
+        status = 503 if health["status"] == "failing" else 200
+        self._send_json(status, health)
+
+    def _stats(self, db: Any, query: Dict[str, Any]) -> None:
+        self._send_json(200, db.admin_stats())
+
+    def _profile(self, db: Any, query: Dict[str, Any]) -> None:
+        top = _int_param(query, "top", 10)
+        if query.get("format", [""])[0] == "text":
+            self._send(200, "text/plain; charset=utf-8",
+                       db.rule_profile(top=top))
+            return
+        self._send_json(200, db.rule_profiler().as_dict(top=top))
+
+    def _trace(self, db: Any, query: Dict[str, Any]) -> None:
+        if not db.spans.enabled:
+            self._send(409, "text/plain; charset=utf-8",
+                       "span recording is off; construct the instance with"
+                       " observability=\"trace\" to download causal traces")
+            return
+        document = db.export_trace()
+        body = json.dumps(document)
+        self._send(200, "application/json",
+                   body, extra_headers=(
+                       ("Content-Disposition",
+                        'attachment; filename="hipac-trace.json"'),))
+
+    # ------------------------------------------------------------- plumbing
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        self._send(status, "application/json",
+                   json.dumps(payload, default=str, sort_keys=True))
+
+    def _send(self, status: int, content_type: str, body: str,
+              extra_headers: Tuple[Tuple[str, str], ...] = ()) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        for key, value in extra_headers:
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+
+_INDEX_TEXT = """hipac admin endpoint
+  /metrics   Prometheus text exposition
+  /health    liveness JSON (ok | degraded | failing; 503 when failing)
+  /stats     full component stats JSON (polled by `python -m repro.tools.top`)
+  /profile   per-rule cost attribution (?top=N, ?format=text)
+  /trace     Chrome trace_event JSON (requires observability="trace")
+"""
+
+
+class AdminServer:
+    """One HiPAC instance's admin endpoint, served from a daemon thread."""
+
+    def __init__(self, db: Any, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.db = db
+        self._httpd = ThreadingHTTPServer((host, port), _AdminHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.db = db  # type: ignore[attr-defined]
+        self._httpd.request_count = 0  # type: ignore[attr-defined]
+        self._httpd.error_count = 0  # type: ignore[attr-defined]
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="hipac-admin-%d" % self.port, daemon=True)
+        self._closed = False
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint (e.g. ``http://127.0.0.1:43215``)."""
+        return "http://%s:%d" % (self.host, self.port)
+
+    @property
+    def running(self) -> bool:
+        return not self._closed and self._thread.is_alive()
+
+    @property
+    def request_count(self) -> int:
+        return self._httpd.request_count  # type: ignore[attr-defined]
+
+    @property
+    def error_count(self) -> int:
+        return self._httpd.error_count  # type: ignore[attr-defined]
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop serving and join the server thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "AdminServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<AdminServer %s%s>" % (self.url,
+                                       "" if self.running else " (closed)")

@@ -12,6 +12,7 @@ satisfied.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, List, Optional
@@ -37,6 +38,10 @@ class RuleFiring:
     #: recording is on; excluded from equality — it is observability
     #: metadata, not part of the firing's identity)
     span: Optional[Any] = field(default=None, compare=False, repr=False)
+    #: monotonic record time (rate computations in the profiler and the
+    #: ``tools.top`` dashboard; excluded from equality like ``span``)
+    timestamp: float = field(default_factory=time.monotonic, compare=False,
+                             repr=False)
 
 
 class FiringLog:

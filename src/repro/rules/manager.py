@@ -38,7 +38,7 @@ from repro.clock import Clock, VirtualClock
 from repro.conditions.condition import ConditionOutcome
 from repro.conditions.evaluator import ConditionEvaluator, Memo
 from repro.core import tracing
-from repro.errors import RuleError, TransactionAborted
+from repro.errors import CascadeLimitExceeded, RuleError, TransactionAborted
 from repro.events.composite import CompositeEventDetector
 from repro.events.database import DatabaseEventDetector
 from repro.events.derivation import derive_event_spec
@@ -57,6 +57,7 @@ from repro.obs.metrics import (DEFAULT_SIZE_BUCKETS, HOT_PATH_SAMPLE,
                                 MetricsRegistry)
 from repro.obs.slowlog import SlowLog
 from repro.obs.spans import Span, SpanRecorder
+from repro.obs.watchdog import Watchdog
 from repro.objstore.manager import ObjectManager
 from repro.objstore.objects import OID
 from repro.rules.actions import ActionContext
@@ -122,7 +123,8 @@ class RuleManager:
                  config: Optional[RuleManagerConfig] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  spans: Optional[SpanRecorder] = None,
-                 slow_log: Optional[SlowLog] = None) -> None:
+                 slow_log: Optional[SlowLog] = None,
+                 watchdog: Optional[Watchdog] = None) -> None:
         self._om = object_manager
         self._txns = txn_manager
         self._evaluator = evaluator
@@ -138,6 +140,9 @@ class RuleManager:
         # `is not None`, not truthiness: an empty SlowLog is falsy (len 0).
         self._slow_log = (slow_log if slow_log is not None
                           else SlowLog(enabled=False))
+        # Same rule for the watchdog (empty alert log is falsy too).
+        self._watchdog = (watchdog if watchdog is not None
+                          else Watchdog(enabled=False))
         couplings = (IMMEDIATE, DEFERRED, SEPARATE)
         self._firing_count = {
             (ec, ca): self._metrics.counter("rule_firings_total", ec=ec, ca=ca)
@@ -175,7 +180,8 @@ class RuleManager:
         self._threads_cv = threading.Condition()
         self.stats = {"signals": 0, "triggered": 0, "conditions_evaluated": 0,
                       "actions_executed": 0, "separate_spawned": 0,
-                      "deferred_queued": 0}
+                      "deferred_queued": 0, "max_cascade_depth_seen": 0,
+                      "cascades_cut": 0}
 
     # ============================================================ rule ops
 
@@ -322,11 +328,21 @@ class RuleManager:
             return
         depth = getattr(self._depth, "value", 0)
         if depth >= self.config.max_cascade_depth:
-            raise RuleError(
+            # The paper's unbounded trigger-recursion hazard (§3.2): cut the
+            # cascade here, with a typed error the application can catch and
+            # an alert the /health endpoint surfaces, instead of recursing
+            # to interpreter limits and wedging the transaction.
+            self.stats["cascades_cut"] += 1
+            described = signals[0].describe()
+            self._watchdog.note_cascade_limit(depth, described)
+            raise CascadeLimitExceeded(
                 "rule cascade exceeded max depth %d (signal %s)"
-                % (self.config.max_cascade_depth, signals[0].describe())
+                % (self.config.max_cascade_depth, described),
+                depth=depth,
             )
         self._depth.value = depth + 1
+        if depth + 1 > self.stats["max_cascade_depth_seen"]:
+            self.stats["max_cascade_depth_seen"] = depth + 1
         # All signals in a batch are spec-tagged copies of one operation;
         # per-operation processing uses the first.
         base = signals[0]
@@ -709,6 +725,7 @@ class RuleManager:
                 coupling=coupling)
         if self._metrics.enabled:
             self._firing_count[(rule.ec_coupling, rule.ca_coupling)].inc()
+        self._watchdog.note_firing()
         ctxn = self._txns.create_transaction(parent=parent,
                                              source=tracing.RULE_MANAGER,
                                              label="cond:%s" % rule.name,
@@ -838,6 +855,7 @@ class RuleManager:
                 coupling=SEPARATE, separate_thread=True)
         if self._metrics.enabled:
             self._firing_count[(rule.ec_coupling, rule.ca_coupling)].inc()
+        self._watchdog.note_firing()
         stxn = self._txns.create_transaction(source=tracing.RULE_MANAGER,
                                              label="sep-cond:%s" % rule.name,
                                              internal=True)
@@ -1005,6 +1023,10 @@ class RuleManager:
                 txn.deferred_actions = []
                 if self._metrics.enabled:
                     self._deferred_batch.observe(len(conditions) + len(actions))
+                # Deferred-queue blowup detector (§6.3): the commit that
+                # drains an oversized queue is where the latency lands.
+                self._watchdog.note_deferred_depth(len(conditions)
+                                                   + len(actions))
                 memo: Memo = {}
                 satisfied: List[Tuple[Rule, RuleFiring, ConditionOutcome, EventSignal]] = []
                 for rule, signal in conditions:

@@ -56,13 +56,30 @@ def explain_firing(firing: RuleFiring) -> str:
 
 def explain(log: FiringLog, rule_name: Optional[str] = None,
             last: Optional[int] = None) -> str:
-    """Render the firing log (optionally one rule's firings, or the last N)."""
+    """Render the firing log (optionally one rule's firings, or the last N).
+
+    The firing log is a bounded ring: when older records have been evicted
+    the account is incomplete, and this report says so up front rather than
+    presenting the tail as the whole history."""
     firings = log.for_rule(rule_name) if rule_name else log.all()
     if last is not None:
         firings = firings[-last:]
+    lines: List[str] = []
+    if log.dropped:
+        lines.append("(%d earlier firing(s) dropped from the log;"
+                     " this account is incomplete)" % log.dropped)
     if not firings:
-        return "no firings recorded"
-    return "\n".join(explain_firing(firing) for firing in firings)
+        lines.append("no firings recorded")
+        return "\n".join(lines)
+    lines.extend(explain_firing(firing) for firing in firings)
+    return "\n".join(lines)
+
+
+def hottest_rules(db, top: int = 10) -> str:
+    """The profiler's top-N "hottest rules" table (see
+    :class:`repro.obs.profiler.RuleProfiler`) — the aggregate companion to
+    the per-firing account :func:`explain` gives."""
+    return db.rule_profiler().report(top=top)
 
 
 def why_not(db, rule_name: str) -> str:

@@ -1,0 +1,150 @@
+"""``python -m repro.tools.top`` — a live terminal dashboard for a served
+HiPAC instance.
+
+Polls the admin endpoint's ``/stats`` (see ``HiPAC.serve_admin()``) and
+renders rule / transaction / event rates computed from successive
+snapshots, plus the live gauges (open transactions, deferred-queue depth)
+and the watchdog's health verdict from ``/health``.  Rates use the
+*server's* clock (``time`` in the payload), so a slow poller under-samples
+but never mis-computes.
+
+Stdlib only (urllib + ANSI escapes); ``--plain`` disables cursor control
+for dumb terminals and log capture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+#: counters whose deltas become the rate rows, as (label, section, key)
+RATE_ROWS: Tuple[Tuple[str, str, str], ...] = (
+    ("rule firings/s", "rules", "triggered"),
+    ("conditions/s", "rules", "conditions_evaluated"),
+    ("actions/s", "rules", "actions_executed"),
+    ("deferred queued/s", "rules", "deferred_queued"),
+    ("txn commits/s", "transactions", "committed"),
+    ("txn aborts/s", "transactions", "aborted"),
+    ("db events/s", "events", "database_reported"),
+    ("lock waits/s", "locks", "waited"),
+)
+
+
+def fetch(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET ``url`` and decode the JSON body."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def counter(stats: Dict[str, Any], section: str, key: str) -> float:
+    """One counter out of a ``/stats`` ``stats`` tree (0.0 when absent)."""
+    try:
+        return float(stats[section][key])
+    except (KeyError, TypeError, ValueError):
+        return 0.0
+
+
+def rates(previous: Dict[str, Any], current: Dict[str, Any]) -> List[Tuple[str, float]]:
+    """Per-second rates between two ``/stats`` payloads.
+
+    Uses the server-side ``time`` stamps; returns an empty list when the
+    interval is non-positive (same snapshot, or server restarted)."""
+    elapsed = float(current.get("time", 0)) - float(previous.get("time", 0))
+    if elapsed <= 0:
+        return []
+    rows = []
+    for label, section, key in RATE_ROWS:
+        delta = (counter(current.get("stats", {}), section, key)
+                 - counter(previous.get("stats", {}), section, key))
+        rows.append((label, max(0.0, delta) / elapsed))
+    return rows
+
+
+def render(current: Dict[str, Any], rate_rows: List[Tuple[str, float]],
+           health: Optional[Dict[str, Any]] = None) -> str:
+    """One dashboard frame as plain text."""
+    lines = []
+    status = (health or {}).get("status", "?")
+    uptime = float(current.get("uptime", 0.0))
+    lines.append("hipac top — status %s — uptime %s"
+                 % (status, format_duration(uptime)))
+    derived = current.get("derived", {})
+    lines.append("live txns %-6d deferred queue %-6d"
+                 % (derived.get("live_transactions", 0),
+                    derived.get("deferred_queue_depth", 0)))
+    if rate_rows:
+        width = max(len(label) for label, _ in rate_rows)
+        for label, rate in rate_rows:
+            lines.append("  %-*s %10.1f" % (width, label, rate))
+    else:
+        lines.append("  (collecting first interval...)")
+    if health:
+        total = health.get("alerts_total", 0)
+        if total:
+            lines.append("alerts: %d total" % total)
+            for alert in health.get("recent", [])[-3:]:
+                lines.append("  [%s] %s: %s" % (
+                    alert.get("severity", "?"), alert.get("kind", "?"),
+                    alert.get("message", "")))
+    return "\n".join(lines)
+
+
+def format_duration(seconds: float) -> str:
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return "%.0fs" % seconds
+    if seconds < 3600:
+        return "%dm%02ds" % (seconds // 60, seconds % 60)
+    return "%dh%02dm" % (seconds // 3600, (seconds % 3600) // 60)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.top",
+        description="live dashboard over a HiPAC admin endpoint")
+    parser.add_argument("--url", default="http://127.0.0.1:8787",
+                        help="admin endpoint base URL (from serve_admin)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="poll interval in seconds")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N frames (0 = run until ^C)")
+    parser.add_argument("--plain", action="store_true",
+                        help="no ANSI cursor control (append frames)")
+    args = parser.parse_args(argv)
+
+    previous: Optional[Dict[str, Any]] = None
+    frames = 0
+    try:
+        while True:
+            try:
+                current = fetch(args.url + "/stats")
+                health = fetch(args.url + "/health")
+            except (urllib.error.URLError, OSError) as exc:
+                print("cannot reach %s: %s" % (args.url, exc),
+                      file=sys.stderr)
+                return 1
+            rows = rates(previous, current) if previous else []
+            frame = render(current, rows, health)
+            if args.plain:
+                print(frame)
+                print("---")
+            else:
+                # clear screen + home, then the frame
+                sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+                sys.stdout.flush()
+            previous = current
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

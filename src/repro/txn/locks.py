@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.errors import DeadlockError, LockTimeout, TransactionStateError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.watchdog import Watchdog
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.txn.transaction import Transaction
@@ -156,7 +157,8 @@ class LockManager:
     """
 
     def __init__(self, default_timeout: float = 10.0,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 watchdog: Optional[Watchdog] = None) -> None:
         self._cond = threading.Condition()
         self._table: Dict[LockResource, _LockEntry] = {}
         #: transactions currently blocked -> the set of transactions they wait on
@@ -165,10 +167,19 @@ class LockManager:
         #: statistics for benchmarks
         self.stats = {"acquired": 0, "waited": 0, "deadlocks": 0, "timeouts": 0}
         self._metrics = metrics or MetricsRegistry(enabled=False)
+        self._watchdog = (watchdog if watchdog is not None
+                          else Watchdog(enabled=False))
         #: blocked-time histogram: observed only when a request actually
         #: waited (grant, timeout, or deadlock) — the uncontended fast path
         #: never reads the clock for it
         self._wait_seconds = self._metrics.histogram("lock_wait_seconds")
+
+    def _record_wait(self, started: float) -> None:
+        """One lock request finished waiting (grant, timeout, or deadlock):
+        record the blocked time, and feed the watchdog's wait-spike window."""
+        waited = _time.monotonic() - started
+        self._wait_seconds.observe(waited)
+        self._watchdog.note_lock_wait(waited)
 
     # ----------------------------------------------------------- acquire
 
@@ -208,8 +219,7 @@ class LockManager:
                     del self._waits_for[txn]
                     self.stats["deadlocks"] += 1
                     if waited:
-                        self._wait_seconds.observe(
-                            _time.monotonic() - (deadline - wait_budget))
+                        self._record_wait(deadline - wait_budget)
                     raise DeadlockError(
                         "deadlock: %s waiting for %s held by %s"
                         % (txn.txn_id, resource,
@@ -234,8 +244,7 @@ class LockManager:
                     if not self._conflicting_holders(txn, entry, mode):
                         break
                     self.stats["timeouts"] += 1
-                    self._wait_seconds.observe(
-                        _time.monotonic() - (deadline - wait_budget))
+                    self._record_wait(deadline - wait_budget)
                     raise LockTimeout(
                         "transaction %s timed out waiting for %s on %s"
                         % (txn.txn_id, mode, resource)
@@ -247,8 +256,7 @@ class LockManager:
             txn.held_locks[resource] = new_mode
             self.stats["acquired"] += 1
             if waited:
-                self._wait_seconds.observe(
-                    _time.monotonic() - (deadline - wait_budget))
+                self._record_wait(deadline - wait_budget)
                 # Others may have been enabled by table changes along the way.
                 self._cond.notify_all()
 

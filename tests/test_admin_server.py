@@ -1,0 +1,736 @@
+"""Tests for the serving-and-diagnosis layer: the embedded admin HTTP
+endpoint, the rule-cascade profiler, the anomaly watchdogs, and the
+``repro.tools.top`` dashboard.
+
+The headline scenario is the acceptance criterion: a cyclic rule set
+(A triggers B triggers A) must trip the cascade-depth watchdog, abort the
+runaway cascade with a typed :class:`CascadeLimitExceeded`, and leave the
+alert visible in both the watchdog's alert log and the ``/health``
+endpoint — while ``/metrics`` stays valid Prometheus text under
+concurrent scrapes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    Action,
+    CascadeLimitExceeded,
+    ClassDef,
+    Condition,
+    HiPAC,
+    Rule,
+    attributes,
+    on_create,
+)
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import RuleProfiler, percentile_of
+from repro.obs.spans import SpanRecorder
+from repro.obs.watchdog import (
+    CASCADE_DEPTH,
+    CRITICAL,
+    DEFERRED_QUEUE,
+    LOCK_WAIT,
+    RULE_STORM,
+    WARNING,
+    Watchdog,
+    WatchdogConfig,
+)
+from repro.rules.coupling import DEFERRED, IMMEDIATE
+from repro.rules.firing import FiringLog, RuleFiring
+from repro.rules.manager import RuleManagerConfig
+from repro.tools import top as top_tool
+
+
+def _db(**kwargs) -> HiPAC:
+    kwargs.setdefault("lock_timeout", 2.0)
+    db = HiPAC(**kwargs)
+    db.define_class(ClassDef("A", attributes(("v", "int"))))
+    db.define_class(ClassDef("B", attributes(("v", "int"))))
+    return db
+
+
+def _get(url: str):
+    """GET ``url``; returns (status, headers, body-bytes) without raising
+    on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+# =============================================================== admin server
+
+
+class TestAdminServer:
+    def test_metrics_endpoint_serves_prometheus_text(self):
+        db = _db()
+        try:
+            server = db.serve_admin()
+            status, headers, body = _get(server.url + "/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            text = body.decode("utf-8")
+            assert "# TYPE" in text and "# HELP" in text
+            assert "hipac_" in text
+            # Every non-comment line is `name{labels} value`.
+            for line in text.strip().splitlines():
+                if line.startswith("#"):
+                    continue
+                assert re.match(r'^[A-Za-z_:][\w:]*(\{.*\})? \S+$', line), line
+        finally:
+            db.close()
+
+    def test_health_and_stats_json(self):
+        db = _db()
+        try:
+            server = db.serve_admin()
+            status, _, body = _get(server.url + "/health")
+            assert status == 200
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert set(health["alerts"]) == set(
+                (RULE_STORM, CASCADE_DEPTH, DEFERRED_QUEUE, LOCK_WAIT))
+            status, _, body = _get(server.url + "/stats")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["time"] > 0 and payload["uptime"] >= 0
+            assert "rules" in payload["stats"]
+            assert "watchdog" in payload["stats"]
+            assert payload["derived"]["live_transactions"] == 0
+        finally:
+            db.close()
+
+    def test_profile_endpoint_json_and_text(self):
+        db = _db()
+        try:
+            db.create_rule(Rule(
+                name="R", event=on_create("A"), condition=Condition.true(),
+                action=Action.call(lambda ctx: None)))
+            with db.transaction() as txn:
+                db.create("A", {"v": 0}, txn)
+            server = db.serve_admin()
+            status, _, body = _get(server.url + "/profile?top=5")
+            assert status == 200
+            profile = json.loads(body)
+            assert profile["rules"]["R"]["firings"] == 1
+            status, _, body = _get(server.url + "/profile?format=text")
+            assert status == 200
+            assert b"rule profile" in body
+        finally:
+            db.close()
+
+    def test_trace_endpoint_409_without_trace_mode(self):
+        db = _db(observability=True)
+        try:
+            server = db.serve_admin()
+            status, _, body = _get(server.url + "/trace")
+            assert status == 409
+            assert b"trace" in body
+        finally:
+            db.close()
+
+    def test_trace_endpoint_downloads_chrome_trace(self):
+        db = _db(observability="trace")
+        try:
+            db.create_rule(Rule(
+                name="R", event=on_create("A"), condition=Condition.true(),
+                action=Action.call(lambda ctx: None)))
+            with db.transaction() as txn:
+                db.create("A", {"v": 0}, txn)
+            server = db.serve_admin()
+            status, headers, body = _get(server.url + "/trace")
+            assert status == 200
+            assert "attachment" in headers.get("Content-Disposition", "")
+            document = json.loads(body)
+            assert document["traceEvents"]
+        finally:
+            db.close()
+
+    def test_unknown_path_404_with_index(self):
+        db = _db()
+        try:
+            server = db.serve_admin()
+            status, _, body = _get(server.url + "/nope")
+            assert status == 404
+            assert b"/metrics" in body  # the index helps the lost human
+            status, _, body = _get(server.url + "/")
+            assert status == 200 and b"/health" in body
+        finally:
+            db.close()
+
+    def test_serve_admin_is_idempotent_and_close_stops_it(self):
+        db = _db()
+        server = db.serve_admin()
+        assert db.serve_admin() is server
+        assert server.running
+        url = server.url
+        assert server.request_count == 0
+        _get(url + "/health")
+        assert server.request_count == 1
+        db.close()
+        assert not server.running
+        with pytest.raises((urllib.error.URLError, OSError)):
+            urllib.request.urlopen(url + "/health", timeout=0.5)
+        # close is idempotent
+        server.close()
+
+    def test_endpoints_valid_under_concurrent_load(self):
+        """Acceptance: /metrics and /health stay valid while worker threads
+        mutate the database and scraper threads hammer the endpoint."""
+        db = _db()
+        db.create_rule(Rule(
+            name="busy", event=on_create("A"), condition=Condition.true(),
+            action=Action.call(lambda ctx: None)))
+        server = db.serve_admin()
+        errors = []
+        stop = threading.Event()
+
+        def workload():
+            while not stop.is_set():
+                try:
+                    with db.transaction() as txn:
+                        db.create("A", {"v": 1}, txn)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(("workload", exc))
+
+        def scraper(path, validate):
+            for _ in range(15):
+                try:
+                    status, _, body = _get(server.url + path)
+                    assert status == 200
+                    validate(body)
+                except Exception as exc:
+                    errors.append((path, exc))
+
+        def valid_metrics(body):
+            text = body.decode("utf-8")
+            assert "# TYPE hipac_rule_firings_total counter" in text
+
+        def valid_health(body):
+            assert json.loads(body)["status"] in ("ok", "degraded")
+
+        threads = [threading.Thread(target=workload) for _ in range(2)]
+        threads += [threading.Thread(target=scraper,
+                                     args=("/metrics", valid_metrics))
+                    for _ in range(3)]
+        threads += [threading.Thread(target=scraper,
+                                     args=("/health", valid_health))
+                    for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads[2:]:
+            thread.join()
+        stop.set()
+        for thread in threads[:2]:
+            thread.join()
+        db.close()
+        assert not errors, errors
+        assert server.error_count == 0
+        assert server.request_count >= 90
+
+
+# ================================================== cascade watchdog (accept)
+
+
+class TestCyclicCascadeWatchdog:
+    def test_cyclic_rules_trip_detector_and_abort(self):
+        """A triggers B triggers A: the cascade must be cut at the
+        configured depth with a typed error, a critical alert in the log,
+        and /health reporting the instance as failing."""
+        config = RuleManagerConfig(max_cascade_depth=8)
+        db = _db(config=config)
+        db.create_rule(Rule(
+            name="a2b", event=on_create("A"), condition=Condition.true(),
+            action=Action.call(lambda ctx: ctx.create("B", {"v": 0}))))
+        db.create_rule(Rule(
+            name="b2a", event=on_create("B"), condition=Condition.true(),
+            action=Action.call(lambda ctx: ctx.create("A", {"v": 0}))))
+        server = db.serve_admin()
+        try:
+            with pytest.raises(CascadeLimitExceeded) as excinfo:
+                with db.transaction() as txn:
+                    db.create("A", {"v": 0}, txn)
+            assert excinfo.value.depth == 8
+            assert "max depth 8" in str(excinfo.value)
+
+            # Alert log: one critical cascade_depth alert.
+            alerts = db.watchdog.alerts(CASCADE_DEPTH)
+            assert len(alerts) == 1
+            assert alerts[0].severity == CRITICAL
+            assert "depth 8" in alerts[0].message
+
+            # Stats record the cut and the high-water depth.
+            stats = db.stats()
+            assert stats["rules"]["cascades_cut"] == 1
+            assert stats["rules"]["max_cascade_depth_seen"] == 8
+            assert stats["watchdog"]["alerts_cascade_depth"] == 1
+
+            # /health: failing, with the alert in the recent list, HTTP 503.
+            status, _, body = _get(server.url + "/health")
+            assert status == 503
+            health = json.loads(body)
+            assert health["status"] == "failing"
+            assert health["alerts"][CASCADE_DEPTH] == 1
+            assert any(a["kind"] == CASCADE_DEPTH for a in health["recent"])
+        finally:
+            db.close()
+
+    def test_caught_cascade_keeps_database_usable(self):
+        """The typed error is catchable; the rest of the database still
+        works after the runaway transaction aborts."""
+        config = RuleManagerConfig(max_cascade_depth=4)
+        db = _db(config=config)
+        db.create_rule(Rule(
+            name="loop", event=on_create("A"), condition=Condition.true(),
+            action=Action.call(lambda ctx: ctx.create("A", {"v": 0}))))
+        with pytest.raises(CascadeLimitExceeded):
+            with db.transaction() as txn:
+                db.create("A", {"v": 0}, txn)
+        db.disable_rule("loop")
+        with db.transaction() as txn:
+            db.create("A", {"v": 7}, txn)
+        db.close()
+
+
+# ============================================================= watchdog unit
+
+
+class TestWatchdogDetectors:
+    def test_rule_storm_trips_over_threshold(self):
+        wd = Watchdog(WatchdogConfig(rule_storm_rate=5.0,
+                                     rule_storm_window=10.0))
+        alert = None
+        for _ in range(60):
+            alert = wd.note_firing() or alert
+        assert alert is not None and alert.kind == RULE_STORM
+        assert alert.severity == WARNING
+        assert alert.value > 5.0
+
+    def test_rule_storm_quiet_below_threshold(self):
+        wd = Watchdog(WatchdogConfig(rule_storm_rate=1000.0,
+                                     rule_storm_window=1.0))
+        for _ in range(10):
+            assert wd.note_firing() is None
+        assert wd.alerts() == []
+
+    def test_storm_detector_disabled_by_default_config(self):
+        wd = Watchdog()  # rule_storm_rate=0.0 -> off
+        for _ in range(1000):
+            assert wd.note_firing() is None
+
+    def test_realert_interval_suppresses_duplicates(self):
+        wd = Watchdog(WatchdogConfig(realert_interval=60.0))
+        assert wd.note_cascade_limit(5, "sig") is not None
+        assert wd.note_cascade_limit(5, "sig") is None
+        assert len(wd.alerts(CASCADE_DEPTH)) == 1
+
+    def test_deferred_queue_detector(self):
+        wd = Watchdog(WatchdogConfig(deferred_queue_limit=10))
+        assert wd.note_deferred_depth(10) is None
+        alert = wd.note_deferred_depth(11)
+        assert alert is not None and alert.kind == DEFERRED_QUEUE
+
+    def test_lock_wait_p95_checked_on_pull_path(self):
+        wd = Watchdog(WatchdogConfig(lock_wait_p95_limit=0.010,
+                                     lock_wait_min_samples=5))
+        for _ in range(10):
+            wd.note_lock_wait(0.050)
+        assert wd.alerts() == []  # feeds alone never alert
+        raised = wd.check()
+        assert len(raised) == 1 and raised[0].kind == LOCK_WAIT
+        assert raised[0].value == pytest.approx(0.050)
+
+    def test_lock_wait_respects_min_samples(self):
+        wd = Watchdog(WatchdogConfig(lock_wait_p95_limit=0.001,
+                                     lock_wait_min_samples=20))
+        for _ in range(5):
+            wd.note_lock_wait(1.0)
+        assert wd.check() == []
+
+    def test_alert_ring_bounded_and_callbacks_fire(self):
+        wd = Watchdog(WatchdogConfig(alert_capacity=3, realert_interval=0.0))
+        received = []
+        wd.add_callback(received.append)
+        for index in range(5):
+            wd.note_cascade_limit(index, "sig")
+        assert len(wd) == 3
+        assert wd.dropped == 2
+        assert wd.stats["alerts_total"] == 5
+        assert len(received) == 5
+        assert wd.health()["alerts_dropped"] == 2
+        text = wd.format()
+        assert "cascade_depth" in text
+        wd.clear()
+        assert len(wd) == 0 and wd.dropped == 0
+        assert wd.format() == "watchdog: no alerts"
+
+    def test_disabled_watchdog_records_nothing(self):
+        wd = Watchdog(WatchdogConfig(rule_storm_rate=0.001,
+                                     deferred_queue_limit=1), enabled=False)
+        wd.note_firing()
+        wd.note_cascade_limit(99, "sig")
+        wd.note_deferred_depth(100)
+        wd.note_lock_wait(10.0)
+        assert wd.check() == []
+        assert wd.alerts() == []
+        assert wd.health()["status"] == "ok"
+
+
+class TestWatchdogWiring:
+    def test_storm_detector_wired_through_facade(self):
+        db = _db(watchdog=WatchdogConfig(rule_storm_rate=2.0,
+                                         rule_storm_window=60.0))
+        db.create_rule(Rule(
+            name="chatty", event=on_create("A"), condition=Condition.true(),
+            action=Action.call(lambda ctx: None)))
+        for _ in range(150):
+            with db.transaction() as txn:
+                db.create("A", {"v": 0}, txn)
+        assert db.watchdog.alerts(RULE_STORM)
+        assert db.health()["status"] == "degraded"
+        db.close()
+
+    def test_deferred_queue_detector_wired_through_facade(self):
+        db = _db(watchdog=WatchdogConfig(deferred_queue_limit=3))
+        db.create_rule(Rule(
+            name="later", event=on_create("A"), condition=Condition.true(),
+            action=Action.call(lambda ctx: None),
+            ec_coupling=DEFERRED))
+        with db.transaction() as txn:
+            for index in range(6):
+                db.create("A", {"v": index}, txn)
+        alerts = db.watchdog.alerts(DEFERRED_QUEUE)
+        assert alerts and alerts[0].value >= 6
+        db.close()
+
+    def test_lock_waits_feed_the_watchdog(self):
+        from repro.txn.locks import LockManager, LockMode, LockResource
+        from repro.txn.transaction import Transaction
+
+        wd = Watchdog(WatchdogConfig(lock_wait_p95_limit=1e-6,
+                                     lock_wait_min_samples=1))
+        locks = LockManager(default_timeout=2.0, watchdog=wd)
+        resource = LockResource.for_class("C")
+        holder, waiter = Transaction("t1"), Transaction("t2")
+        locks.acquire(holder, resource, LockMode.X)
+
+        def release_soon():
+            time.sleep(0.05)
+            locks.release_all(holder)
+
+        thread = threading.Thread(target=release_soon)
+        thread.start()
+        locks.acquire(waiter, resource, LockMode.X)
+        thread.join()
+        raised = wd.check()
+        assert raised and raised[0].kind == LOCK_WAIT
+        assert raised[0].value >= 0.01
+
+    def test_health_degrades_on_background_rule_errors(self):
+        from repro.rules.coupling import SEPARATE
+
+        db = _db()
+        db.create_rule(Rule(
+            name="doomed", event=on_create("A"), condition=Condition.true(),
+            action=Action.call(lambda ctx: 1 / 0),
+            ec_coupling=SEPARATE))
+        with db.transaction() as txn:
+            db.create("A", {"v": 0}, txn)
+        assert db.drain(5.0)
+        health = db.health()
+        assert health["background_rule_errors"] >= 1
+        assert health["status"] == "degraded"
+        db.close()
+
+
+# ================================================================== profiler
+
+
+class TestRuleProfiler:
+    def test_counts_and_selectivity_from_firing_log(self):
+        db = _db()
+        db.create_rule(Rule(
+            name="half", event=on_create("A"),
+            condition=Condition(guard=lambda b, r: b.get("new_v", 0) > 0),
+            action=Action.call(lambda ctx: None)))
+        for value in (1, 0, 1, 0):
+            with db.transaction() as txn:
+                db.create("A", {"v": value}, txn)
+        profiles = db.rule_profiler().profiles()
+        profile = profiles["half"]
+        assert profile.firings == 4
+        assert profile.evaluated == 4
+        assert profile.satisfied == 2
+        assert profile.executed == 2
+        assert profile.selectivity == pytest.approx(0.5)
+        report = db.rule_profile()
+        assert "half" in report and "50%" in report
+        assert 'observability="trace"' in report
+        db.close()
+
+    def test_cascade_edges_and_self_vs_inclusive_time(self):
+        db = _db(observability="trace")
+        db.create_rule(Rule(
+            name="outer", event=on_create("A"), condition=Condition.true(),
+            action=Action.call(lambda ctx: (time.sleep(0.01),
+                                            ctx.create("B", {"v": 1})))))
+        db.create_rule(Rule(
+            name="inner", event=on_create("B"), condition=Condition.true(),
+            action=Action.call(lambda ctx: time.sleep(0.01))))
+        db.spans.clear()
+        with db.transaction() as txn:
+            db.create("A", {"v": 0}, txn)
+        profiles = db.rule_profiler().profiles()
+        outer, inner = profiles["outer"], profiles["inner"]
+        assert outer.triggers == {"inner": 1}
+        assert inner.triggered_by == {"outer": 1}
+        assert list(outer.triggered_by) == [
+            key for key in outer.triggered_by if key.startswith("event:")]
+        # inner ran nested inside outer (immediate coupling): outer's self
+        # time excludes it, outer's inclusive time covers both sleeps.
+        assert outer.total_self >= 0.008
+        assert inner.total_self >= 0.008
+        assert outer.total_inclusive >= outer.total_self + 0.008
+        assert outer.total_self <= outer.total_inclusive - 0.008
+        timing = outer.timing()
+        assert timing["inclusive_p95"] >= timing["self_p95"]
+        db.close()
+
+    def test_deferred_child_adds_detached_inclusive_time(self):
+        db = _db(observability="trace")
+        db.create_rule(Rule(
+            name="queuer", event=on_create("A"), condition=Condition.true(),
+            action=Action.call(lambda ctx: ctx.create("B", {"v": 1}))))
+        db.create_rule(Rule(
+            name="at_commit", event=on_create("B"),
+            condition=Condition.true(),
+            action=Action.call(lambda ctx: time.sleep(0.01)),
+            ec_coupling=DEFERRED))
+        db.spans.clear()
+        with db.transaction() as txn:
+            db.create("A", {"v": 0}, txn)
+        profiles = db.rule_profiler().profiles()
+        # The deferred firing ran after the queuing spans closed; its cost
+        # still lands in the cascade-inclusive total of the chain.
+        assert profiles["queuer"].total_inclusive >= 0.008
+        assert profiles["queuer"].total_self < 0.008
+        db.close()
+
+    def test_hottest_ordering_and_report_table(self):
+        log = FiringLog()
+        for _ in range(5):
+            log.append(RuleFiring("cold", "e", IMMEDIATE, IMMEDIATE,
+                                  satisfied=True, executed=True))
+        for _ in range(20):
+            log.append(RuleFiring("hot", "e", IMMEDIATE, IMMEDIATE,
+                                  satisfied=True, executed=True))
+        profiler = RuleProfiler(log)
+        assert [p.name for p in profiler.hottest(2)] == ["hot", "cold"]
+        report = profiler.report(top=1)
+        assert "hot" in report and "cold" not in report.split("\n")[2]
+        payload = profiler.as_dict(top=1)
+        assert list(payload["rules"]) == ["hot"]
+        assert payload["rules"]["hot"]["firings"] == 20
+
+    def test_report_notes_dropped_firings(self):
+        log = FiringLog(capacity=2)
+        for index in range(5):
+            log.append(RuleFiring("r", "e", IMMEDIATE, IMMEDIATE))
+        report = RuleProfiler(log).report()
+        assert "3 earlier firings dropped" in report
+
+    def test_empty_profiler(self):
+        profiler = RuleProfiler(FiringLog(), SpanRecorder(enabled=False))
+        assert profiler.profiles() == {}
+        assert "no firings" in profiler.report()
+
+    def test_percentile_of_exact(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert percentile_of(values, 50) == pytest.approx(50.5)
+        assert percentile_of(values, 95) == pytest.approx(95.05)
+        assert percentile_of([3.0], 99) == 3.0
+        assert percentile_of([], 50) == 0.0
+
+
+# ============================================== satellites: histogram/export
+
+
+class TestHistogramExactness:
+    def test_single_value_percentile_is_exact(self):
+        registry = MetricsRegistry(enabled=True)
+        histogram = registry.histogram("lat")
+        histogram.observe(0.0073)
+        assert histogram.percentile(50) == pytest.approx(0.0073)
+        assert histogram.percentile(99) == pytest.approx(0.0073)
+
+    def test_same_bucket_values_clamped_by_min_max(self):
+        registry = MetricsRegistry(enabled=True)
+        histogram = registry.histogram("lat")
+        for value in (0.0031, 0.0032, 0.0033):
+            histogram.observe(value)
+        # All three fall in one bucket; the estimate must stay inside the
+        # observed [min, max], not wander across the whole bucket width.
+        for q in (10, 50, 90):
+            estimate = histogram.percentile(q)
+            assert 0.0031 <= estimate <= 0.0033
+
+
+class TestPrometheusRoundTrip:
+    def test_help_and_type_once_per_family(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("rule_firings_total", ec="immediate").inc(1)
+        registry.counter("rule_firings_total", ec="deferred").inc(2)
+        registry.histogram("rule_action_seconds", rule="x").observe(0.001)
+        registry.histogram("rule_action_seconds", rule="y").observe(0.002)
+        text = prometheus_text(registry)
+        assert text.count("# TYPE hipac_rule_firings_total ") == 1
+        assert text.count("# HELP hipac_rule_firings_total ") == 1
+        assert text.count("# TYPE hipac_rule_action_seconds ") == 1
+        # HELP text comes from the curated table, not the fallback.
+        assert "coupling mode" in text
+
+    def test_label_values_escaped_and_parse_back(self):
+        registry = MetricsRegistry(enabled=True)
+        hostile = 'with"quote\\slash\nnewline'
+        registry.counter("odd_total", tag=hostile).inc(7)
+        text = prometheus_text(registry)
+        samples = _parse_prometheus(text)
+        assert samples[("hipac_odd_total", (("tag", hostile),))] == 7.0
+
+    def test_full_facade_exposition_parses(self):
+        db = _db()
+        db.create_rule(Rule(
+            name="R", event=on_create("A"), condition=Condition.true(),
+            action=Action.call(lambda ctx: None)))
+        with db.transaction() as txn:
+            db.create("A", {"v": 0}, txn)
+        samples = _parse_prometheus(db.prometheus_metrics())
+        fired = [value for (name, labels), value in samples.items()
+                 if name == "hipac_rule_firings_total"]
+        assert sum(fired) >= 1
+        # histogram invariants: count equals the +Inf bucket
+        for (name, labels), value in samples.items():
+            if name.endswith("_count"):
+                inf_key = (name[:-len("_count")] + "_bucket",
+                           labels + (("le", "+Inf"),))
+                assert samples[inf_key] == value
+        db.close()
+
+
+def _parse_prometheus(text: str):
+    """Minimal exposition-format parser (the inverse of the exporter's
+    escaping); returns {(name, ((label, value), ...)): float}."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = re.match(r'^([A-Za-z_:][\w:]*)(?:\{(.*)\})? (\S+)$', line)
+        assert match, "unparseable exposition line: %r" % line
+        name, label_text, value_text = match.groups()
+        labels = []
+        if label_text:
+            for part in re.findall(r'(\w+)="((?:[^"\\]|\\.)*)"', label_text):
+                key, raw = part
+                unescaped = (raw.replace("\\n", "\n").replace('\\"', '"')
+                             .replace("\\\\", "\\"))
+                labels.append((key, unescaped))
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        samples[(name, tuple(labels))] = value
+    return samples
+
+
+# ========================================================== explain satellite
+
+
+class TestExplainDroppedNote:
+    def test_explain_notes_dropped_records(self):
+        from repro.tools.explain import explain
+
+        log = FiringLog(capacity=2)
+        for index in range(5):
+            log.append(RuleFiring("r%d" % index, "e", IMMEDIATE, IMMEDIATE,
+                                  satisfied=True, executed=True))
+        rendered = explain(log)
+        assert rendered.startswith("(3 earlier firing(s) dropped")
+        assert "r4" in rendered
+
+    def test_explain_unchanged_without_drops(self):
+        from repro.tools.explain import explain
+
+        log = FiringLog(capacity=10)
+        log.append(RuleFiring("r", "e", IMMEDIATE, IMMEDIATE,
+                              satisfied=True, executed=True))
+        assert "dropped" not in explain(log)
+        assert explain(FiringLog()) == "no firings recorded"
+
+
+# ================================================================= tools.top
+
+
+class TestTopDashboard:
+    def _payload(self, at, commits, firings):
+        return {
+            "time": at, "uptime": at,
+            "stats": {"transactions": {"committed": commits, "aborted": 0},
+                      "rules": {"triggered": firings,
+                                "conditions_evaluated": firings,
+                                "actions_executed": firings,
+                                "deferred_queued": 0},
+                      "events": {"database_reported": 0},
+                      "locks": {"waited": 0}},
+            "derived": {"live_transactions": 1, "deferred_queue_depth": 2},
+        }
+
+    def test_rates_from_successive_snapshots(self):
+        first = self._payload(100.0, commits=10, firings=0)
+        second = self._payload(102.0, commits=30, firings=8)
+        rows = dict(top_tool.rates(first, second))
+        assert rows["txn commits/s"] == pytest.approx(10.0)
+        assert rows["rule firings/s"] == pytest.approx(4.0)
+        assert top_tool.rates(second, second) == []  # zero interval
+
+    def test_render_frame(self):
+        current = self._payload(50.0, commits=1, firings=1)
+        rows = [("txn commits/s", 12.5)]
+        health = {"status": "ok", "alerts_total": 1,
+                  "recent": [{"severity": "warning", "kind": "rule_storm",
+                              "message": "busy"}]}
+        frame = top_tool.render(current, rows, health)
+        assert "status ok" in frame
+        assert "12.5" in frame
+        assert "deferred queue 2" in frame
+        assert "rule_storm" in frame
+
+    def test_main_against_live_server(self, capsys):
+        db = _db()
+        server = db.serve_admin()
+        try:
+            code = top_tool.main(["--url", server.url, "--interval", "0.05",
+                                  "--iterations", "2", "--plain"])
+        finally:
+            db.close()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("hipac top") == 2
+
+    def test_main_unreachable_url_errors(self, capsys):
+        code = top_tool.main(["--url", "http://127.0.0.1:1",
+                              "--iterations", "1", "--plain"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_format_duration(self):
+        assert top_tool.format_duration(5) == "5s"
+        assert top_tool.format_duration(125) == "2m05s"
+        assert top_tool.format_duration(7322) == "2h02m"
