@@ -76,7 +76,8 @@ class HiPAC:
                  span_capacity: int = 1024,
                  slow_threshold: float = 0.050,
                  firing_log_capacity: Optional[int] = None,
-                 watchdog: Optional[WatchdogConfig] = None) -> None:
+                 watchdog: Optional[WatchdogConfig] = None,
+                 flight_recorder: bool = False) -> None:
         self.tracer = tracing.Tracer()
         self.clock = clock or VirtualClock()
         #: observability levels:
@@ -158,6 +159,24 @@ class HiPAC:
         self._admin: Optional[Any] = None
         self._started_at = time.time()
         self._bootstrap()
+        #: flight recorder (durable stimulus journal for incident replay;
+        #: see :mod:`repro.obs.flightrec`).  Attached after bootstrap —
+        #: every instance re-creates the system class identically, so the
+        #: bootstrap transaction is never journalled — and before the
+        #: durability wiring, so the post-recovery checkpoint writes its
+        #: journal marker.
+        self.flight_recorder: Optional[Any] = None
+        if flight_recorder:
+            if data_dir is None:
+                raise ValueError("flight_recorder=True requires data_dir")
+            from repro.obs.flightrec import FlightRecorder
+            recorder = FlightRecorder(data_dir)
+            self.flight_recorder = recorder
+            self.object_manager.recorder = recorder
+            self.transaction_manager.recorder = recorder
+            self.rule_manager.recorder = recorder
+            self.external_detector.recorder = recorder
+            self.temporal_detector.recorder = recorder
         #: durability wiring (None / "wal"); see _enable_durability
         self.wal: Optional[Any] = None
         self.checkpointer: Optional[Any] = None
@@ -229,10 +248,13 @@ class HiPAC:
         return self._recovery_report
 
     def close(self) -> None:
-        """Stop the admin server (if serving) and flush/close the WAL."""
+        """Stop the admin server (if serving) and flush/close the WAL and
+        flight-recorder journal."""
         if self._admin is not None:
             self._admin.close()
             self._admin = None
+        if self.flight_recorder is not None:
+            self.flight_recorder.close()
         if self.wal is not None:
             self.wal.close()
 
@@ -455,7 +477,9 @@ class HiPAC:
         Serves ``/metrics`` (Prometheus text), ``/health`` (watchdog
         status JSON; 503 when failing), ``/stats`` (the :meth:`stats`
         snapshot plus derived gauges), ``/profile`` (rule-cascade
-        profiler), and ``/trace`` (Chrome trace download under
+        profiler), ``/flight`` (flight-recorder journal stats and recent
+        records; ``?download=1`` streams the live segment), and
+        ``/trace`` (Chrome trace download under
         ``observability="trace"``) on a daemon thread.  ``port=0`` binds
         an ephemeral port; read the bound address from the returned
         server's ``url``.  Idempotent: a second call returns the running
@@ -576,6 +600,13 @@ class HiPAC:
             recovery["discarded_spheres"] = report.discarded_spheres
             recovery["rules_rebound"] = report.rules_rebound
             recovery["rules_unbound"] = len(report.rules_unbound)
+        flightrec = {
+            "records": 0, "suppressed": 0, "segments": 0, "rotations": 0,
+            "dropped_segments": 0, "bytes": 0, "last_seq": 0,
+            "checkpoint_markers": 0,
+        }
+        if self.flight_recorder is not None:
+            flightrec.update(self.flight_recorder.stats)
         return {
             "rules": dict(self.rule_manager.stats),
             "events": events,
@@ -595,4 +626,5 @@ class HiPAC:
                 "slow_dropped": self.slow_log.dropped,
                 "firing_log_dropped": self.rule_manager.firings.dropped,
             },
+            "flightrec": flightrec,
         }

@@ -159,6 +159,13 @@ class EventDetector:
         """True if ``spec`` is currently programmed."""
         return spec in self._registrations
 
+    def registered_specs(self) -> List[EventSpec]:
+        """All currently programmed specs (programming order).
+
+        The flight-recorder replay engine resolves journalled temporal
+        occurrences back to their programmed specs through this list."""
+        return [reg.spec for reg in self._registrations.values()]
+
     def is_enabled(self, spec: EventSpec) -> bool:
         """True if ``spec`` is programmed and enabled."""
         registration = self._registrations.get(spec)

@@ -34,6 +34,9 @@ class ExternalEventDetector(EventDetector):
                  indexed_dispatch: bool = True) -> None:
         super().__init__(sink, tracer, indexed_dispatch=indexed_dispatch)
         self._by_name: Dict[str, ExternalEventSpec] = {}
+        #: flight recorder (wired by the facade); application-level event
+        #: definitions and signals are journalled as replayable stimuli
+        self.recorder: Optional[Any] = None
 
     def _installed(self, spec: ExternalEventSpec) -> None:  # type: ignore[override]
         existing = self._by_name.get(spec.name)
@@ -42,6 +45,11 @@ class ExternalEventDetector(EventDetector):
                 "external event %r already defined with parameters %r"
                 % (spec.name, list(existing.parameters))
             )
+        if spec.name not in self._by_name and self.recorder is not None:
+            # Definitions arriving through rule creation happen inside the
+            # suppressed cascade scope; only application-level definitions
+            # reach the journal (replay re-creates the rule-driven ones).
+            self.recorder.record_define_event(spec.name, spec.parameters)
         self._by_name[spec.name] = spec
 
     def _removed(self, spec: ExternalEventSpec) -> None:  # type: ignore[override]
@@ -76,5 +84,9 @@ class ExternalEventDetector(EventDetector):
             )
         signal = EventSignal(kind="external", name=name, args=args, txn=txn,
                              timestamp=timestamp)
+        if self.recorder is not None:
+            # Journalled before delivery (intent discipline): a torn tail
+            # is a signal whose rule processing never ran.
+            self.recorder.record_signal(signal)
         self.report(spec, signal)
         return signal

@@ -111,6 +111,27 @@ class EventSignal:
             out["event_kind"] = "composite"
         return out
 
+    def journal_payload(self) -> Dict[str, Any]:
+        """JSON-able stimulus payload for the flight recorder.
+
+        Only externally-originated kinds are journalled (database signals
+        are derived from operations, which the recorder journals at the
+        Object Manager instead): external events carry their name and
+        declared arguments, temporal events their occurrence time and
+        descriptive text — exactly what replay needs to re-signal the
+        occurrence into a fresh instance.
+        """
+        from repro.recovery.serialize import encode_value
+
+        if self.kind == "external":
+            return {"name": self.name,
+                    "args": {key: encode_value(value)
+                             for key, value in self.args.items()},
+                    "timestamp": self.timestamp}
+        if self.kind == "temporal":
+            return {"timestamp": self.timestamp, "info": self.info}
+        raise ValueError("signals of kind %r are not journalled" % self.kind)
+
     def describe(self) -> str:
         """One-line human-readable description (used in traces and logs)."""
         if self.kind == "database":

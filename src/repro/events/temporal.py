@@ -47,6 +47,9 @@ class TemporalEventDetector(EventDetector):
         super().__init__(sink, tracer, indexed_dispatch=indexed_dispatch)
         self._clock = clock
         self._schema = schema
+        #: flight recorder (wired by the facade); temporal occurrences are
+        #: journalled so replay can re-fire them at the recorded instants
+        self.recorder = None
         self._heap: List[Tuple[float, int, TemporalEventSpec]] = []
         self._seq = itertools.count()
         self._mutex = threading.RLock()
@@ -151,6 +154,10 @@ class TemporalEventDetector(EventDetector):
                     assert spec.period is not None
                     self._push(due + spec.period, spec)
             signal = EventSignal(kind="temporal", timestamp=due, info=spec.info)
+            if self.recorder is not None:
+                # Journalled before delivery; the spec repr lets replay
+                # resolve the registered spec to report against.
+                self.recorder.record_signal(signal, spec_repr=repr(spec))
             # Reporting happens outside the mutex: rule firings triggered by
             # a temporal event may define further temporal events.
             self.report(spec, signal)

@@ -92,6 +92,10 @@ class ObjectManager:
         #: write-ahead log; None while the system runs in-memory only
         #: (attached by the facade when durability is enabled)
         self.wal: Optional[Any] = None
+        #: flight recorder; None unless the facade enables it.  Top-level
+        #: application operations are journalled as replayable stimuli;
+        #: rule-cascade operations are suppressed (replay re-derives them).
+        self.recorder: Optional[Any] = None
         self.stats = {"operations": 0, "queries": 0, "reads": 0,
                       "signals_skipped": 0}
 
@@ -117,6 +121,8 @@ class ObjectManager:
                             "execute_operation", op.describe())
         txn.require_active()
         self.stats["operations"] += 1
+        if self.recorder is not None:
+            self._journal_operation(op, txn, user)
         if not self._op_seconds.should_sample():
             return self._dispatch_operation(op, txn, user)
         start = _time.perf_counter()
@@ -124,6 +130,23 @@ class ObjectManager:
             return self._dispatch_operation(op, txn, user)
         finally:
             self._op_seconds.observe(_time.perf_counter() - start)
+
+    def _journal_operation(self, op: Operation, txn: Transaction,
+                           user: str) -> None:
+        """Journal ``op`` as a flight-recorder stimulus (intent: written
+        before execution, so a torn journal tail is an operation that never
+        ran).  Skipped for internal transactions (recovery, checkpointing)
+        and for rule-object operations — rule administration is journalled
+        at the Rule Manager, which re-creates the rule rows on replay."""
+        if txn.internal or self.recorder.suppressed_here:
+            return
+        target = getattr(op, "class_name", None)
+        if target is None:
+            oid = getattr(op, "oid", None)
+            target = oid.class_name if oid is not None else None
+        if target == "HiPAC::Rule":  # rules.rule.RULE_CLASS
+            return
+        self.recorder.record_operation(op, txn, user)
 
     def _dispatch_operation(self, op: Operation, txn: Transaction,
                             user: str) -> Any:

@@ -1,0 +1,572 @@
+"""Flight recorder: a durable journal of externally-signalled events.
+
+All of the in-memory telemetry (metrics, spans, firing log, watchdog
+alerts) dies with the process; after a crash or a rule-storm abort there
+is no way to reconstruct *which* stimuli produced the incident.  The
+flight recorder closes that gap: every event that enters rule processing
+from **outside** — application transaction boundaries, top-level data
+operations, external signals, temporal occurrences, rule administration —
+is appended to a size-bounded, CRC-checked JSONL journal living next to
+the WAL and checkpoint in ``data_dir/flight/``.
+
+Because active-rule behaviour is a deterministic function of the event
+sequence (Flesca & Greco, "Declarative Semantics for Active Rules"), the
+journalled stimuli are *sufficient* to reproduce an incident: the replay
+engine (:mod:`repro.tools.replay`) restores the nearest checkpoint and
+re-signals the suffix into a fresh instance, and everything the rules did
+— cascades, deferred work, separate transactions — happens again.  Rule
+cascade work is therefore deliberately **not** journalled: it is output,
+not input.  The recorder keeps a thread-local suppression counter which
+the Rule Manager raises around all rule processing (including the
+separate-transaction worker threads, whose actions may open their own
+non-internal transactions); anything recorded while suppressed would be
+re-derived by replay and is skipped.
+
+Two kinds of record do bypass suppression:
+
+* ``firing`` **response** records — the recorded outcome of each condition
+  evaluation.  These are the expected *outputs* replay diffs against, so
+  every evaluation is journalled no matter how deep in a cascade it ran.
+* ``checkpoint`` markers — written by the checkpointer so replay knows
+  where the durable state snapshot sits in the event sequence.
+
+Stimulus records are written **before** the stimulus executes (the WAL's
+intent discipline).  A torn final record therefore denotes a stimulus that
+never ran: readers drop it and the journal still matches the committed
+state exactly.
+
+Writes buffer in the process and are pushed to the OS at every record
+that can *trigger durable effects* — commit/abort intents, external and
+temporal stimuli, explicit fires, rule administration, checkpoint
+markers, separate-thread firings.  The journal is one sequential file,
+so each boundary flush carries the whole buffered prefix with it:
+txn-begin/op records of a sphere always reach the OS before that
+sphere's commit intent executes (and hence before the WAL can force the
+sphere durable).  A hard process kill can only lose records whose
+effects were not durable either, so replay of the surviving prefix
+still reproduces the committed store.
+
+**Journal compaction.**  The dominant journal traffic is the
+begin/op/commit plumbing of single-operation application transactions
+(every SAA quote is one).  While a top-level transaction's records are
+strictly consecutive — nothing from another transaction, thread, or
+detector has been journalled since its begin — the recorder buffers
+them, and at the commit intent emits one ``"txn"`` record carrying the
+label, the ordered operation list, and the firing responses the
+transaction's cascades produced.  Replay expands it back to
+begin → ops → commit (re-deriving the firings live).  Any
+interleaving record — another transaction, an external/temporal/fire
+stimulus, rule administration, a separate-thread firing, a checkpoint
+marker, an abort — spills the buffer in the faithful record-by-record
+form first, so coalescing only ever compacts a run the journal would
+have serialized contiguously anyway.  Buffering in recorder memory is
+crash-equivalent to the libc buffer: a lost tail is an uncommitted
+sphere the WAL discards too.
+
+Record format (one JSON object per line)::
+
+    {"seq": 41, "type": "external", "wall": 1754450000.123,
+     "txn": "t7", "data": {...}, "crc": 2774362813}
+
+``seq`` increases monotonically across segments and process restarts;
+``wall`` is wall-clock epoch time (journals are read across processes, so
+no monotonic clocks); ``crc`` covers the canonical JSON of the other
+fields, exactly as in the WAL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import (TYPE_CHECKING, Any, Deque, Dict, Iterator, List,
+                    Optional, Tuple)
+
+from repro.recovery.serialize import encode_operation, encode_value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.events.signal import EventSignal
+    from repro.objstore.operations import Operation
+    from repro.rules.firing import RuleFiring
+    from repro.txn.transaction import Transaction
+
+FLIGHT_DIRNAME = "flight"
+SEGMENT_PATTERN = "flight-%08d.jsonl"
+
+# Stimulus record types (replayed by the replay engine, in order).
+TXN_BEGIN = "txn-begin"
+TXN_COMMIT = "txn-commit"
+TXN_ABORT = "txn-abort"
+#: a whole top-level transaction coalesced into one record — see
+#: "Journal compaction" in the module docstring
+TXN_AUTO = "txn"
+OPERATION = "op"
+EXTERNAL = "external"
+TEMPORAL = "temporal"
+DEFINE_EVENT = "define-event"
+RULE_CREATE = "rule-create"
+RULE_DELETE = "rule-delete"
+RULE_ENABLE = "rule-enable"
+RULE_DISABLE = "rule-disable"
+FIRE = "fire"
+
+# Response / bookkeeping record types (not replayed; diffed or consulted).
+FIRING = "firing"
+CHECKPOINT = "checkpoint"
+
+STIMULUS_TYPES = frozenset({
+    TXN_BEGIN, TXN_COMMIT, TXN_ABORT, TXN_AUTO, OPERATION, EXTERNAL,
+    TEMPORAL, DEFINE_EVENT, RULE_CREATE, RULE_DELETE, RULE_ENABLE,
+    RULE_DISABLE, FIRE,
+})
+
+
+def _record_crc(record: Dict[str, Any]) -> int:
+    payload = json.dumps(
+        {key: record[key] for key in ("seq", "type", "wall", "txn", "data")},
+        sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+def journal_dir(data_dir: Any) -> Path:
+    """The journal directory under a HiPAC data directory."""
+    return Path(data_dir) / FLIGHT_DIRNAME
+
+
+def journal_segments(data_dir: Any) -> List[Path]:
+    """Existing journal segments, oldest first."""
+    directory = journal_dir(data_dir)
+    if not directory.exists():
+        return []
+    return sorted(directory.glob("flight-*.jsonl"))
+
+
+def read_segment(path: Path, last_seq: int = 0) -> Tuple[List[Dict[str, Any]], int]:
+    """Read the valid prefix of one segment (the WAL's torn-tail rule).
+
+    Returns ``(records, discarded)``; reading stops at the first
+    malformed / CRC-failing / non-increasing-seq record, and everything
+    after it counts as discarded.
+    """
+    if not path.exists():
+        return [], 0
+    lines = path.read_text(encoding="utf-8").splitlines()
+    records: List[Dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            crc = record["crc"]
+            seq = record["seq"]
+        except (ValueError, KeyError, TypeError):
+            return records, len(lines) - index
+        if _record_crc(record) != crc or seq <= last_seq:
+            return records, len(lines) - index
+        last_seq = seq
+        records.append(record)
+    return records, 0
+
+
+def read_journal(data_dir: Any) -> Tuple[List[Dict[str, Any]], int]:
+    """Read the valid prefix of the whole journal, across segments.
+
+    A bad record poisons everything after it (later segments included):
+    the trusted prefix is exactly what a sequential writer durably
+    completed before the first tear.
+    """
+    records: List[Dict[str, Any]] = []
+    discarded = 0
+    segments = journal_segments(data_dir)
+    last_seq = 0
+    for index, segment in enumerate(segments):
+        seg_records, seg_discarded = read_segment(segment, last_seq)
+        records.extend(seg_records)
+        if seg_records:
+            last_seq = seg_records[-1]["seq"]
+        if seg_discarded:
+            discarded += seg_discarded
+            for later in segments[index + 1:]:
+                discarded += sum(
+                    1 for line in
+                    later.read_text(encoding="utf-8").splitlines()
+                    if line.strip())
+            break
+    return records, discarded
+
+
+class FlightRecorder:
+    """Append-only segmented journal of external stimuli and firings.
+
+    Thread-safe: a single lock serializes appends (journal order *is* the
+    replay order, so concurrent producers must interleave through one
+    point); the suppression counter is thread-local, so one thread doing
+    rule-cascade work does not mute application threads.
+    """
+
+    def __init__(self, data_dir: Any, *,
+                 max_segment_bytes: int = 4 * 1024 * 1024,
+                 max_segments: int = 8,
+                 recent_capacity: int = 256) -> None:
+        self.data_dir = Path(data_dir)
+        self.directory = journal_dir(data_dir)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_segment_bytes = max_segment_bytes
+        self.max_segments = max_segments
+        self._mutex = threading.Lock()
+        self._local = threading.local()
+        self._recent: Deque[Dict[str, Any]] = deque(maxlen=recent_capacity)
+        #: coalescing buffer for the newest still-open top-level
+        #: transaction whose records have been strictly consecutive
+        self._tail: Optional[Dict[str, Any]] = None
+        self._closed = False
+        self.stats: Dict[str, int] = {
+            "records": 0,
+            "suppressed": 0,
+            "segments": 0,
+            "rotations": 0,
+            "dropped_segments": 0,
+            "bytes": 0,
+            "last_seq": 0,
+            "checkpoint_markers": 0,
+        }
+        existing = journal_segments(data_dir)
+        self._seq = self._scan_last_seq(existing)
+        next_index = self._next_segment_index(existing)
+        # A new session always opens a fresh segment: the previous
+        # session's tail may be torn, and appending past a tear would
+        # hide good records behind a bad one.
+        self._open_segment(next_index)
+        self.stats["segments"] = len(journal_segments(data_dir))
+        self.stats["last_seq"] = self._seq
+
+    # -- segment plumbing -------------------------------------------------
+
+    @staticmethod
+    def _scan_last_seq(segments: List[Path]) -> int:
+        last = 0
+        for segment in segments:
+            records, _ = read_segment(segment, last)
+            if records:
+                last = records[-1]["seq"]
+        return last
+
+    @staticmethod
+    def _next_segment_index(segments: List[Path]) -> int:
+        if not segments:
+            return 1
+        tail = segments[-1].stem  # "flight-00000007"
+        try:
+            return int(tail.split("-", 1)[1]) + 1
+        except (IndexError, ValueError):
+            return len(segments) + 1
+
+    def _open_segment(self, index: int) -> None:
+        self._segment_index = index
+        self._segment_path = self.directory / (SEGMENT_PATTERN % index)
+        self._file = open(self._segment_path, "a", encoding="utf-8")
+        self._segment_bytes = self._segment_path.stat().st_size
+
+    def _rotate_locked(self) -> None:
+        self._file.close()
+        self._open_segment(self._segment_index + 1)
+        self.stats["rotations"] += 1
+        segments = journal_segments(self.data_dir)
+        while len(segments) > self.max_segments:
+            victim = segments.pop(0)
+            try:
+                os.unlink(victim)
+            except OSError:
+                break
+            self.stats["dropped_segments"] += 1
+        self.stats["segments"] = len(segments)
+
+    # -- suppression ------------------------------------------------------
+
+    @property
+    def suppressed_here(self) -> bool:
+        """Is the calling thread inside rule-cascade work?"""
+        return getattr(self._local, "depth", 0) > 0
+
+    @contextmanager
+    def suppressed(self) -> Iterator[None]:
+        """Mute stimulus recording on this thread (rule-cascade scope)."""
+        self._local.depth = getattr(self._local, "depth", 0) + 1
+        try:
+            yield
+        finally:
+            self._local.depth -= 1
+
+    # -- recording --------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return not self._closed
+
+    def _admit(self, respect_suppression: bool = True) -> bool:
+        if self._closed:
+            return False
+        if respect_suppression and self.suppressed_here:
+            self.stats["suppressed"] += 1
+            return False
+        return True
+
+    def record(self, rtype: str, data: Optional[Dict[str, Any]] = None, *,
+               txn: Optional[str] = None,
+               respect_suppression: bool = True,
+               flush: bool = True) -> Optional[int]:
+        """Append one record; returns its seq, or None when skipped.
+
+        ``flush=False`` leaves the record in the process buffer: safe for
+        records whose loss is always *consistent* with the WAL (txn-begin
+        and op records of a sphere that cannot be durable yet, firing
+        responses preceding their boundary).  Every boundary record — the
+        commit/abort intent, cascade-triggering stimuli, rule admin,
+        checkpoint markers — flushes, and a flush pushes the whole
+        buffered prefix of the (single, sequential) file with it, so any
+        state the WAL could have made durable has its causal journal
+        prefix in the OS already.
+        """
+        if not self._admit(respect_suppression):
+            return None
+        with self._mutex:
+            if self._closed:
+                return None
+            self._spill_tail_locked()
+            return self._append_locked(rtype, data, txn, flush)
+
+    def _append_locked(self, rtype: str, data: Optional[Dict[str, Any]],
+                       txn: Optional[str], flush: bool) -> int:
+        self._seq += 1
+        wall = time.time()
+        # Hot path: build the canonical line in one serialization pass.
+        # The envelope is formatted by hand in canonical key order
+        # (sorted: crc, data, seq, txn, type, wall) so the emitted
+        # bytes are exactly what ``json.dumps(record, sort_keys=True)``
+        # would produce — readers recompute the CRC from the parsed
+        # record and must land on the same canonical form.  ``txn`` ids
+        # are internal ASCII tokens ("t-42") and ``rtype`` is a module
+        # constant, so neither needs escaping; ``repr`` of a float is
+        # the JSON float serialization.
+        body = '{"data":%s,"seq":%d,"txn":%s,"type":"%s","wall":%s}' % (
+            json.dumps(data or {}, sort_keys=True,
+                       separators=(",", ":")),
+            self._seq,
+            '"%s"' % txn if txn is not None else "null",
+            rtype, repr(wall))
+        crc = zlib.crc32(body.encode("utf-8"))
+        line = '{"crc":%d,%s\n' % (crc, body[1:])
+        self._file.write(line)
+        if flush:
+            self._file.flush()
+        # json.dumps escapes non-ASCII by default, so the line is pure
+        # ASCII and ``len`` is its byte length.
+        self._segment_bytes += len(line)
+        self.stats["records"] += 1
+        self.stats["bytes"] += len(line)
+        self.stats["last_seq"] = self._seq
+        self._recent.append({"seq": self._seq, "type": rtype,
+                             "wall": wall, "txn": txn,
+                             "data": data or {}, "crc": crc})
+        if self._segment_bytes >= self.max_segment_bytes:
+            self._rotate_locked()
+        return self._seq
+
+    def _spill_tail_locked(self) -> None:
+        """Write a buffered transaction out faithfully (begin + entries).
+
+        Called whenever a record that cannot extend the tail arrives:
+        the buffered records land first, in their arrival order, so the
+        journal stays a true serialization of the stimulus sequence —
+        the tail only ever *compacts* a run that was consecutive anyway.
+        """
+        tail = self._tail
+        if tail is None:
+            return
+        self._tail = None
+        self._append_locked(TXN_BEGIN, tail["begin"], tail["txn"], False)
+        for rtype, data, txn in tail["entries"]:
+            self._append_locked(rtype, data, txn, False)
+
+    # -- domain helpers (stimuli; all honour suppression) -----------------
+
+    def record_txn_begin(self, txn: "Transaction") -> Optional[int]:
+        if not self._admit():
+            return None
+        parent = txn.parent.txn_id if txn.parent is not None else None
+        begin = {"parent": parent, "label": txn.label}
+        with self._mutex:
+            if self._closed:
+                return None
+            self._spill_tail_locked()
+            if parent is None:
+                # Top-level: buffer, hoping to coalesce the whole
+                # transaction into one record at its commit intent.
+                self._tail = {"txn": txn.txn_id, "begin": begin,
+                              "entries": [], "ops": 0}
+                return None
+            return self._append_locked(TXN_BEGIN, begin, txn.txn_id, False)
+
+    def record_txn_commit(self, txn: "Transaction") -> Optional[int]:
+        if not self._admit():
+            return None
+        with self._mutex:
+            if self._closed:
+                return None
+            tail = self._tail
+            if tail is None or tail["txn"] != txn.txn_id:
+                self._spill_tail_locked()
+                return self._append_locked(TXN_COMMIT, None, txn.txn_id,
+                                           True)
+            self._tail = None
+            if not tail["entries"]:
+                return None  # empty transaction: no effects, no journal
+            if not tail["ops"]:
+                # Firing responses but no ops (nothing to coalesce
+                # around): spill faithfully.
+                self._append_locked(TXN_BEGIN, tail["begin"],
+                                    tail["txn"], False)
+                for rtype, data, rtxn in tail["entries"]:
+                    self._append_locked(rtype, data, rtxn, False)
+                return self._append_locked(TXN_COMMIT, None, txn.txn_id,
+                                           True)
+            auto: Dict[str, Any] = {
+                "label": tail["begin"]["label"],
+                "ops": [data for rtype, data, _ in tail["entries"]
+                        if rtype == OPERATION],
+            }
+            firings = [data for rtype, data, _ in tail["entries"]
+                       if rtype == FIRING]
+            if firings:
+                auto["firings"] = firings
+            return self._append_locked(TXN_AUTO, auto, txn.txn_id, True)
+
+    def record_txn_abort(self, txn: "Transaction") -> Optional[int]:
+        if not self._admit():
+            return None
+        with self._mutex:
+            if self._closed:
+                return None
+            # Aborts are incident material: always spill the tail and
+            # keep the faithful record-by-record form.
+            self._spill_tail_locked()
+            return self._append_locked(TXN_ABORT, None, txn.txn_id, True)
+
+    def record_operation(self, op: "Operation", txn: "Transaction",
+                         user: str) -> Optional[int]:
+        if not self._admit():
+            return None
+        data = {"op": encode_operation(op), "user": user}
+        with self._mutex:
+            if self._closed:
+                return None
+            tail = self._tail
+            if tail is not None and tail["txn"] == txn.txn_id:
+                tail["entries"].append((OPERATION, data, txn.txn_id))
+                tail["ops"] += 1
+                return None
+            self._spill_tail_locked()
+            return self._append_locked(OPERATION, data, txn.txn_id, False)
+
+    def record_signal(self, signal: "EventSignal", *,
+                      spec_repr: Optional[str] = None) -> Optional[int]:
+        """Journal an external or temporal stimulus from its signal."""
+        data = signal.journal_payload()
+        if spec_repr is not None:
+            data["spec"] = spec_repr
+        txn = signal.txn.txn_id if signal.txn is not None else None
+        rtype = EXTERNAL if signal.kind == "external" else TEMPORAL
+        return self.record(rtype, data, txn=txn)
+
+    def record_define_event(self, name: str,
+                            parameters: Tuple[str, ...]) -> Optional[int]:
+        return self.record(DEFINE_EVENT,
+                           {"name": name, "parameters": list(parameters)})
+
+    def record_rule_op(self, rtype: str, name: str,
+                       txn: Optional["Transaction"]) -> Optional[int]:
+        return self.record(rtype, {"name": name},
+                           txn=txn.txn_id if txn is not None else None)
+
+    def record_fire(self, name: str, args: Optional[Dict[str, Any]],
+                    txn: Optional["Transaction"]) -> Optional[int]:
+        encoded = ({key: encode_value(val) for key, val in args.items()}
+                   if args else {})
+        return self.record(FIRE, {"name": name, "args": encoded},
+                           txn=txn.txn_id if txn is not None else None)
+
+    # -- responses / markers (bypass suppression) -------------------------
+
+    def record_firing(self, firing: "RuleFiring") -> Optional[int]:
+        """Journal one evaluation-complete firing outcome (a response).
+
+        Synchronous firings buffer (their transaction's commit intent
+        flushes them); separate-thread firings flush themselves — their
+        sphere commits outside any journalled transaction, so nothing
+        downstream would push them out.
+        """
+        if self._closed:
+            return None
+        data = {
+            "rule": firing.rule_name,
+            "event": firing.event,
+            "ec": firing.ec_coupling,
+            "ca": firing.ca_coupling,
+            "satisfied": firing.satisfied,
+            "separate": firing.separate_thread,
+            "wall_time": firing.wall_time,
+        }
+        txn = firing.triggering_txn
+        with self._mutex:
+            if self._closed:
+                return None
+            tail = self._tail
+            if (tail is not None and not firing.separate_thread
+                    and tail["txn"] == txn):
+                tail["entries"].append((FIRING, data, txn))
+                return None
+            self._spill_tail_locked()
+            return self._append_locked(FIRING, data, txn,
+                                       firing.separate_thread)
+
+    def note_checkpoint(self, lsn: int) -> Optional[int]:
+        """Mark that the durable checkpoint now covers everything before
+        this point in the journal."""
+        seq = self.record(CHECKPOINT, {"lsn": lsn},
+                          respect_suppression=False)
+        if seq is not None:
+            self.stats["checkpoint_markers"] += 1
+        return seq
+
+    # -- introspection ----------------------------------------------------
+
+    def recent(self, last: int = 50) -> List[Dict[str, Any]]:
+        """The newest ``last`` records (for the admin endpoint)."""
+        with self._mutex:
+            if last <= 0:
+                return []
+            return list(self._recent)[-last:]
+
+    @property
+    def segment_path(self) -> Path:
+        """Path of the segment currently being appended to."""
+        return self._segment_path
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._closed:
+                return
+            # A transaction still open at orderly shutdown spills in its
+            # faithful form: no commit record follows, so replay aborts
+            # it at end-of-journal — exactly what the crash semantics of
+            # an unfinished sphere require.
+            self._spill_tail_locked()
+            self._closed = True
+            self._file.flush()
+            self._file.close()

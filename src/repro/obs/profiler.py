@@ -65,6 +65,11 @@ class RuleProfile:
     errors: int = 0
     deferred: int = 0
     separate: int = 0
+    #: wall-clock time of the oldest/newest firing in the log (0.0 if
+    #: none) — lets dashboards and replay diffs place a rule's activity
+    #: window on a cross-process clock
+    first_wall: float = 0.0
+    last_wall: float = 0.0
     #: wall-clock seconds per firing, from spans (empty without "trace")
     self_seconds: List[float] = field(default_factory=list, repr=False)
     inclusive_seconds: List[float] = field(default_factory=list, repr=False)
@@ -121,6 +126,11 @@ class RuleProfiler:
                 profile = profiles[record.rule_name] = RuleProfile(
                     record.rule_name)
             profile.firings += 1
+            if profile.first_wall == 0.0 \
+                    or record.wall_time < profile.first_wall:
+                profile.first_wall = record.wall_time
+            if record.wall_time > profile.last_wall:
+                profile.last_wall = record.wall_time
             if record.satisfied is not None:
                 profile.evaluated += 1
                 if record.satisfied:
@@ -269,6 +279,8 @@ class RuleProfiler:
                 "triggered_by": dict(profile.triggered_by),
                 "timing": profile.timing(),
                 "timed_firings": len(profile.inclusive_seconds),
+                "first_wall": profile.first_wall,
+                "last_wall": profile.last_wall,
             }
         return out
 

@@ -15,6 +15,9 @@ and exposes:
   server time, which the ``repro.tools.top`` dashboard polls for rates;
 * ``GET /profile``  — per-rule cost attribution (JSON; ``?top=N`` bounds
   it, ``?format=text`` renders the hottest-rules table);
+* ``GET /flight``   — flight-recorder journal stats plus the newest
+  records (``?last=N``); ``?download=1`` streams the live journal segment
+  (409 unless the instance was built with ``flight_recorder=True``);
 * ``GET /trace``    — the Chrome ``trace_event`` document of the retained
   span trees (only meaningful under ``observability="trace"``; otherwise
   409, because an empty trace would read as "nothing happened");
@@ -38,11 +41,28 @@ from urllib.parse import parse_qs, urlparse
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
+class _BadParam(Exception):
+    """A query parameter failed validation (rendered as HTTP 400)."""
+
+
 def _int_param(query: Dict[str, Any], name: str, default: int) -> int:
-    try:
-        return int(query.get(name, [default])[0])
-    except (TypeError, ValueError, IndexError):
+    """Parse an integer query parameter.
+
+    Absent parameters fall back to ``default``; a *present but
+    non-integer* value is a client error (400), not a silent fallback —
+    ``?top=ten`` answering as if ``?top=10`` had been asked misleads the
+    caller.  Negative values clamp to zero (every current use is a
+    count).
+    """
+    raw = query.get(name)
+    if not raw:
         return default
+    try:
+        value = int(raw[0])
+    except (TypeError, ValueError):
+        raise _BadParam("query parameter %r expects an integer, got %r"
+                        % (name, raw[0]))
+    return max(0, value)
 
 
 class _AdminHandler(BaseHTTPRequestHandler):
@@ -67,6 +87,7 @@ class _AdminHandler(BaseHTTPRequestHandler):
                 "/health": self._health,
                 "/stats": self._stats,
                 "/profile": self._profile,
+                "/flight": self._flight,
                 "/trace": self._trace,
             }.get(parsed.path)
             if route is None:
@@ -75,6 +96,8 @@ class _AdminHandler(BaseHTTPRequestHandler):
                                                     _INDEX_TEXT))
                 return
             route(db, query)
+        except _BadParam as exc:
+            self._send(400, "text/plain; charset=utf-8", str(exc))
         except Exception as exc:  # pragma: no cover - defensive 500 path
             self.server.error_count += 1  # type: ignore[attr-defined]
             try:
@@ -106,6 +129,26 @@ class _AdminHandler(BaseHTTPRequestHandler):
                        db.rule_profile(top=top))
             return
         self._send_json(200, db.rule_profiler().as_dict(top=top))
+
+    def _flight(self, db: Any, query: Dict[str, Any]) -> None:
+        recorder = getattr(db, "flight_recorder", None)
+        if recorder is None:
+            self._send(409, "text/plain; charset=utf-8",
+                       "flight recorder is off; construct the instance with"
+                       " flight_recorder=True to journal stimuli")
+            return
+        if query.get("download", [""])[0]:
+            data = recorder.segment_path.read_text(encoding="utf-8")
+            self._send(200, "application/x-ndjson", data, extra_headers=(
+                ("Content-Disposition",
+                 'attachment; filename="%s"' % recorder.segment_path.name),))
+            return
+        last = _int_param(query, "last", 50)
+        self._send_json(200, {
+            "stats": dict(recorder.stats),
+            "segment": str(recorder.segment_path),
+            "recent": recorder.recent(last),
+        })
 
     def _trace(self, db: Any, query: Dict[str, Any]) -> None:
         if not db.spans.enabled:
@@ -143,6 +186,8 @@ _INDEX_TEXT = """hipac admin endpoint
   /health    liveness JSON (ok | degraded | failing; 503 when failing)
   /stats     full component stats JSON (polled by `python -m repro.tools.top`)
   /profile   per-rule cost attribution (?top=N, ?format=text)
+  /flight    flight-recorder journal stats + recent records (?last=N,
+             ?download=1 for the live segment; requires flight_recorder=True)
   /trace     Chrome trace_event JSON (requires observability="trace")
 """
 

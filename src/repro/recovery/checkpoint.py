@@ -116,6 +116,13 @@ class Checkpointer:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, self.path)
+        recorder = getattr(self.db, "flight_recorder", None)
+        if recorder is not None and recorder.active:
+            # Journal marker: replay starts from the newest marker whose
+            # LSN matches the checkpoint file — everything before it is
+            # covered by the snapshot, everything after is the suffix to
+            # re-signal.
+            recorder.note_checkpoint(state["lsn"])
         self.wal.reset()
         self._last_lsn = self.wal.last_lsn
         self.stats["checkpoints"] += 1

@@ -102,6 +102,56 @@ def _apply_delta(store: ObjectStore, delta: Delta) -> None:
         raise ValueError("cannot replay delta kind %r" % delta.kind)
 
 
+def apply_checkpoint_state(store: ObjectStore,
+                           checkpoint: Dict[str, Any]) -> None:
+    """Load a checkpoint snapshot into a (bootstrapped) store: schema
+    classes not already present, every extent row at its recorded OID, and
+    the OID allocator floor.  Shared by WAL recovery and the flight-recorder
+    replay engine."""
+    for class_data in checkpoint["schema"]:
+        if not store.schema.has(class_data["name"]):
+            store.define_class(decode_class_def(class_data))
+    for class_name, number, attrs in checkpoint["extents"]:
+        store.insert(class_name, decode_attrs(attrs) or {},
+                     oid=OID(class_name, number))
+    # ``next_oid`` is the number the *next* allocation would have used
+    # (``peek()``), so the floor — "never allocate <= this again" — is one
+    # below it.  Flooring at ``next_oid`` itself would skip one number and
+    # desynchronize deterministic replay from the recorded timeline.
+    store.ensure_oid_floor(checkpoint["next_oid"] - 1)
+
+
+def rebind_stored_rules(db: Any,
+                        rules: Union[None, Dict[str, Rule], Iterable[Rule]],
+                        report: "RecoveryReport") -> None:
+    """Rebind recovered ``HiPAC::Rule`` rows to the caller's rule library.
+
+    Conditions and actions are Python callables the durable formats cannot
+    capture, so each stored row is matched by name and re-registered
+    against the supplied :class:`Rule` object; unmatched rows are counted
+    on ``report.rules_unbound``."""
+    library = _rule_library(rules)
+    rows = sorted(db.store.snapshot_state().get(RULE_CLASS, {}).items(),
+                  key=lambda item: item[0].number)
+    for oid, attrs in rows:
+        name = attrs["name"]
+        rule = library.get(name)
+        if rule is None:
+            report.rules_unbound.append(name)
+            continue
+        txn = db.transaction_manager.create_transaction(
+            label="recover:%s" % name, internal=True)
+        try:
+            db.rule_manager.reattach_rule(rule, oid, bool(attrs["enabled"]),
+                                          txn)
+            db.transaction_manager.commit_transaction(txn)
+        except BaseException:
+            if not txn.is_finished():
+                db.transaction_manager.abort_transaction(txn)
+            raise
+        report.rules_rebound += 1
+
+
 def replay_into(db: Any, data_dir: Any,
                 rules: Union[None, Dict[str, Rule], Iterable[Rule]] = None
                 ) -> RecoveryReport:
@@ -118,13 +168,7 @@ def replay_into(db: Any, data_dir: Any,
     checkpoint = load_checkpoint(data_dir)
     if checkpoint is not None:
         report.checkpoint_lsn = checkpoint["lsn"]
-        for class_data in checkpoint["schema"]:
-            if not store.schema.has(class_data["name"]):
-                store.define_class(decode_class_def(class_data))
-        for class_name, number, attrs in checkpoint["extents"]:
-            store.insert(class_name, decode_attrs(attrs) or {},
-                         oid=OID(class_name, number))
-        store.ensure_oid_floor(checkpoint["next_oid"])
+        apply_checkpoint_state(store, checkpoint)
 
     records, discarded = wal_mod.read_wal_records(
         Path(data_dir) / wal_mod.WAL_FILENAME)
@@ -178,26 +222,7 @@ def replay_into(db: Any, data_dir: Any,
     store.ensure_oid_floor(highest)
 
     # Rebind recovered rule rows to the caller's rule library.
-    library = _rule_library(rules)
-    rows = sorted(store.snapshot_state().get(RULE_CLASS, {}).items(),
-                  key=lambda item: item[0].number)
-    for oid, attrs in rows:
-        name = attrs["name"]
-        rule = library.get(name)
-        if rule is None:
-            report.rules_unbound.append(name)
-            continue
-        txn = db.transaction_manager.create_transaction(
-            label="recover:%s" % name, internal=True)
-        try:
-            db.rule_manager.reattach_rule(rule, oid, bool(attrs["enabled"]),
-                                          txn)
-            db.transaction_manager.commit_transaction(txn)
-        except BaseException:
-            if not txn.is_finished():
-                db.transaction_manager.abort_transaction(txn)
-            raise
-        report.rules_rebound += 1
+    rebind_stored_rules(db, rules, report)
 
     db.tracer.bump("recovery_replay")
     return report

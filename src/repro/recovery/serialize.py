@@ -116,6 +116,51 @@ def decode_class_def(data: Dict[str, Any]) -> ClassDef:
     )
 
 
+def encode_operation(op: Any) -> Dict[str, Any]:
+    """Encode an :class:`~repro.objstore.operations.Operation` descriptor.
+
+    Operations are the flight recorder's unit of stimulus (the journal
+    records the *intent*, not the resulting delta — replay re-executes the
+    operation so the rules it triggers fire again)."""
+    data: Dict[str, Any] = {"kind": op.kind}
+    if op.kind == "define-class":
+        data["class_def"] = encode_class_def(op.class_def)
+    elif op.kind == "drop-class":
+        data["class_name"] = op.class_name
+    elif op.kind == "create":
+        data["class_name"] = op.class_name
+        data["attrs"] = encode_attrs(op.attrs)
+    elif op.kind == "update":
+        data["oid"] = [op.oid.class_name, op.oid.number]
+        data["changes"] = encode_attrs(op.changes)
+    elif op.kind == "delete":
+        data["oid"] = [op.oid.class_name, op.oid.number]
+    else:
+        raise ValueError("cannot encode operation kind %r" % op.kind)
+    return data
+
+
+def decode_operation(data: Dict[str, Any]) -> Any:
+    """Invert :func:`encode_operation`."""
+    from repro.objstore.operations import (CreateObject, DefineClass,
+                                           DeleteObject, DropClass,
+                                           UpdateObject)
+
+    kind = data["kind"]
+    if kind == "define-class":
+        return DefineClass(decode_class_def(data["class_def"]))
+    if kind == "drop-class":
+        return DropClass(data["class_name"])
+    if kind == "create":
+        return CreateObject(data["class_name"], decode_attrs(data["attrs"]) or {})
+    if kind == "update":
+        return UpdateObject(OID(data["oid"][0], data["oid"][1]),
+                            decode_attrs(data["changes"]) or {})
+    if kind == "delete":
+        return DeleteObject(OID(data["oid"][0], data["oid"][1]))
+    raise ValueError("cannot decode operation kind %r" % kind)
+
+
 def encode_delta(delta: Delta) -> Dict[str, Any]:
     """Encode one store delta for the WAL."""
     return {

@@ -42,6 +42,11 @@ class RuleFiring:
     #: ``tools.top`` dashboard; excluded from equality like ``span``)
     timestamp: float = field(default_factory=time.monotonic, compare=False,
                              repr=False)
+    #: wall-clock record time — monotonic timestamps are meaningless
+    #: across processes, but flight-recorder journals and replay diffs
+    #: must align records from different runs on a common clock
+    wall_time: float = field(default_factory=time.time, compare=False,
+                             repr=False)
 
 
 class FiringLog:

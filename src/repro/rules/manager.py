@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 import time as _time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -168,6 +169,14 @@ class RuleManager:
         #: write-ahead log; None while the system runs in-memory only
         #: (attached by the facade when durability is enabled)
         self.wal: Optional[Any] = None
+        #: flight recorder; None unless the facade enables it.  The Rule
+        #: Manager is the journal's gatekeeper: rule administration is
+        #: journalled here as a stimulus, every rule-cascade scope raises
+        #: the recorder's thread-local suppression (cascade work is replay
+        #: *output*, re-derived by re-signalling the stimuli), and each
+        #: completed condition evaluation is journalled as a ``firing``
+        #: response record for replay to diff against.
+        self.recorder: Optional[Any] = None
         self._rules: Dict[str, Rule] = {}
         self._rules_by_oid: Dict[OID, Rule] = {}
         self._event_map: Dict[EventSpec, Set[str]] = {}
@@ -200,6 +209,12 @@ class RuleManager:
             raise RuleError("a rule named %r already exists" % rule.name)
         if rule.event is None:
             rule.event = derive_event_spec(rule.condition.queries)
+        if self.recorder is not None:
+            # Rule administration is a journal stimulus: the rule-object
+            # operation itself is *not* journalled at the Object Manager
+            # (replay re-creates the row by re-issuing create_rule from
+            # the caller's rule library, at this same point in sequence).
+            self.recorder.record_rule_op("rule-create", rule.name, txn)
         stack = self._pending_stack()
         stack.append(rule)
         try:
@@ -216,6 +231,8 @@ class RuleManager:
         """Delete a rule (write lock; undone if ``txn`` aborts)."""
         rule = self.get_rule(name)
         assert rule.oid is not None
+        if self.recorder is not None:
+            self.recorder.record_rule_op("rule-delete", name, txn)
         self._om.delete(rule.oid, txn, source=source)
 
     def enable_rule(self, name: str, txn: Transaction, *,
@@ -223,6 +240,8 @@ class RuleManager:
         """Re-enable automatic firing of a rule (write lock)."""
         rule = self.get_rule(name)
         assert rule.oid is not None
+        if self.recorder is not None:
+            self.recorder.record_rule_op("rule-enable", name, txn)
         self._om.update(rule.oid, {"enabled": True}, txn, source=source)
 
     def disable_rule(self, name: str, txn: Transaction, *,
@@ -230,6 +249,8 @@ class RuleManager:
         """Disable automatic firing of a rule (write lock)."""
         rule = self.get_rule(name)
         assert rule.oid is not None
+        if self.recorder is not None:
+            self.recorder.record_rule_op("rule-disable", name, txn)
         self._om.update(rule.oid, {"enabled": False}, txn, source=source)
 
     def fire_rule(self, name: str, txn: Optional[Transaction], *,
@@ -243,10 +264,13 @@ class RuleManager:
         parameterized conditions.
         """
         rule = self.get_rule(name)
+        if self.recorder is not None:
+            self.recorder.record_fire(name, args, txn)
         signal = EventSignal(kind="external", name="fire:%s" % name,
                              args=dict(args or {}), txn=txn,
                              timestamp=self._clock.now())
-        self._process_firings([(rule, signal)], manual=True)
+        with self._suppression():
+            self._process_firings([(rule, signal)], manual=True)
 
     def rules_in_group(self, group: str) -> List[str]:
         """Names of the rules belonging to ``group`` (paper §4.2), sorted."""
@@ -301,6 +325,19 @@ class RuleManager:
 
     # ===================================================== the §5.4 interface
 
+    def _suppression(self):
+        """Context manager muting flight-recorder stimulus capture on this
+        thread for the duration of rule-cascade work.
+
+        Transaction-internal filtering alone is not enough: rule actions may
+        call into applications (``ctx.request``) that open their own
+        non-internal top-level transactions, and separate-coupling firings
+        run on fresh threads — so the suppression scope is thread-local and
+        entered at every point where cascade processing begins."""
+        if self.recorder is None:
+            return nullcontext()
+        return self.recorder.suppressed()
+
     def signal_event(self, signal: EventSignal) -> None:
         """Report the occurrence of an event (the paper's single operation).
 
@@ -354,28 +391,32 @@ class RuleManager:
                 event=described, depth=depth,
                 txn=base.txn.txn_id if base.txn is not None else None)
         try:
-            self.stats["signals"] += len(signals)
-            if base.kind == "database" and base.class_name == RULE_CLASS:
-                self._manage_rule_object(base)
-            # Feed the temporal detector (baselines of relative/periodic
-            # events) and the composite automata — once per operation.
-            # Composite occurrences recognized here re-enter
-            # signal_event recursively.
-            if self._temporal is not None and \
-                    self._temporal.wants_baseline(base):
-                self._temporal.observe_baseline(base)
-            if self._composite is not None and self._composite.wants(base):
-                self._composite.observe(base)
-            entries: List[Tuple[Rule, EventSignal]] = []
-            for signal in signals:
-                for rule in self._triggered_rules(signal):
-                    entries.append((rule, signal))
-            if entries:
-                self.stats["triggered"] += len(entries)
-                # One global firing order across all matched specs.
-                entries.sort(key=lambda entry: (-entry[0].priority,
-                                                entry[0].name))
-                self._process_firings(entries)
+            # Everything from here down is rule processing: stimuli were
+            # journalled upstream (Object Manager / detectors), and replay
+            # re-derives this work by re-signalling them.
+            with self._suppression():
+                self.stats["signals"] += len(signals)
+                if base.kind == "database" and base.class_name == RULE_CLASS:
+                    self._manage_rule_object(base)
+                # Feed the temporal detector (baselines of relative/periodic
+                # events) and the composite automata — once per operation.
+                # Composite occurrences recognized here re-enter
+                # signal_event recursively.
+                if self._temporal is not None and \
+                        self._temporal.wants_baseline(base):
+                    self._temporal.observe_baseline(base)
+                if self._composite is not None and self._composite.wants(base):
+                    self._composite.observe(base)
+                entries: List[Tuple[Rule, EventSignal]] = []
+                for signal in signals:
+                    for rule in self._triggered_rules(signal):
+                        entries.append((rule, signal))
+                if entries:
+                    self.stats["triggered"] += len(entries)
+                    # One global firing order across all matched specs.
+                    entries.sort(key=lambda entry: (-entry[0].priority,
+                                                    entry[0].name))
+                    self._process_firings(entries)
         finally:
             self._spans.finish_span(espan)
             self._depth.value = depth
@@ -747,6 +788,10 @@ class RuleManager:
                 rule.condition, signal, ctxn, coupling=coupling, memo=memo)
             self._txns.commit_transaction(ctxn, source=tracing.RULE_MANAGER)
             firing.satisfied = outcome.satisfied
+            if self.recorder is not None:
+                # Response record (bypasses suppression): the journalled
+                # outcome replay diffs its own evaluations against.
+                self.recorder.record_firing(firing)
             if fspan is not None:
                 fspan.tags["satisfied"] = outcome.satisfied
             return firing, outcome
@@ -827,8 +872,12 @@ class RuleManager:
 
         def body() -> None:
             try:
-                firing, outcome = self._separate_condition(rule, signal,
-                                                           launch_span)
+                # Fresh thread, fresh suppression scope: everything this
+                # separate firing does (its actions may open non-internal
+                # application transactions) is cascade output, not stimulus.
+                with self._suppression():
+                    firing, outcome = self._separate_condition(rule, signal,
+                                                               launch_span)
             except TransactionAborted:
                 return  # recorded on the firing; separate work just stops
             except Exception as exc:
@@ -877,6 +926,8 @@ class RuleManager:
             outcome = self._evaluator.evaluate(
                 rule.condition, signal, stxn, coupling=SEPARATE)
             firing.satisfied = outcome.satisfied
+            if self.recorder is not None:
+                self.recorder.record_firing(firing)
             if fspan is not None:
                 fspan.tags["satisfied"] = outcome.satisfied
             self._spans.finish_span(cspan)
@@ -898,49 +949,55 @@ class RuleManager:
                                 outcome: ConditionOutcome,
                                 signal: EventSignal) -> None:
         def body() -> None:
-            atxn = self._txns.create_transaction(source=tracing.RULE_MANAGER,
-                                                 label="sep-act:%s" % rule.name,
-                                                 internal=True)
-            firing.action_txn = atxn.txn_id
-            firing.separate_thread = True
-            aspan = None
-            if self._spans.enabled:
-                aspan = self._spans.start_span(
-                    "act:%s" % rule.name, kind="action", parent=firing.span,
-                    rule=rule.name, coupling=SEPARATE, txn=atxn.txn_id)
-            hist = self._action_seconds[SEPARATE]
-            timed = hist.should_sample()
-            start = _time.perf_counter() if timed else 0.0
-            try:
-                ctx = ActionContext(
-                    object_manager=self._om, txn=atxn, signal=signal,
-                    bindings=outcome.bindings, results=outcome.results,
-                    applications=self.applications, rule=rule,
-                    signal_external=self._signal_external)
-                rule.action.run(ctx)
-                self._txns.commit_transaction(atxn, source=tracing.RULE_MANAGER)
-                firing.executed = True
-                self.stats["actions_executed"] += 1
-            except TransactionAborted as exc:
-                firing.error = str(exc)
-                if not atxn.is_finished():
-                    self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
-            except Exception as exc:
-                firing.error = str(exc)
-                self.background_errors.append((rule.name, str(exc)))
-                if not atxn.is_finished():
-                    self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
-            finally:
-                if timed:
-                    elapsed = _time.perf_counter() - start
-                    hist.observe(elapsed)
-                    if elapsed >= self._slow_log.threshold:
-                        self._slow_log.note("rule-action", rule.name, elapsed,
-                                            coupling=SEPARATE,
-                                            txn=atxn.txn_id)
-                self._spans.finish_span(aspan)
+            with self._suppression():
+                self._separate_action_body(rule, firing, outcome, signal)
 
         self._spawn(body, rule.name, deadline=rule.deadline)
+
+    def _separate_action_body(self, rule: Rule, firing: RuleFiring,
+                              outcome: ConditionOutcome,
+                              signal: EventSignal) -> None:
+        atxn = self._txns.create_transaction(source=tracing.RULE_MANAGER,
+                                             label="sep-act:%s" % rule.name,
+                                             internal=True)
+        firing.action_txn = atxn.txn_id
+        firing.separate_thread = True
+        aspan = None
+        if self._spans.enabled:
+            aspan = self._spans.start_span(
+                "act:%s" % rule.name, kind="action", parent=firing.span,
+                rule=rule.name, coupling=SEPARATE, txn=atxn.txn_id)
+        hist = self._action_seconds[SEPARATE]
+        timed = hist.should_sample()
+        start = _time.perf_counter() if timed else 0.0
+        try:
+            ctx = ActionContext(
+                object_manager=self._om, txn=atxn, signal=signal,
+                bindings=outcome.bindings, results=outcome.results,
+                applications=self.applications, rule=rule,
+                signal_external=self._signal_external)
+            rule.action.run(ctx)
+            self._txns.commit_transaction(atxn, source=tracing.RULE_MANAGER)
+            firing.executed = True
+            self.stats["actions_executed"] += 1
+        except TransactionAborted as exc:
+            firing.error = str(exc)
+            if not atxn.is_finished():
+                self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
+        except Exception as exc:
+            firing.error = str(exc)
+            self.background_errors.append((rule.name, str(exc)))
+            if not atxn.is_finished():
+                self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
+        finally:
+            if timed:
+                elapsed = _time.perf_counter() - start
+                hist.observe(elapsed)
+                if elapsed >= self._slow_log.threshold:
+                    self._slow_log.note("rule-action", rule.name, elapsed,
+                                        coupling=SEPARATE,
+                                        txn=atxn.txn_id)
+            self._spans.finish_span(aspan)
 
     def _spawn(self, body: Callable[[], None], label: str,
                deadline: Optional[float] = None) -> None:
@@ -1010,35 +1067,41 @@ class RuleManager:
                                            kind="deferred_batch",
                                            txn=txn.txn_id)
         try:
-            rounds = 0
-            while txn.has_deferred_work():
-                rounds += 1
-                if rounds > self.config.max_deferred_rounds:
-                    raise RuleError(
-                        "deferred rule firings did not quiesce after %d rounds"
-                        % self.config.max_deferred_rounds)
-                conditions = txn.deferred_conditions
-                txn.deferred_conditions = []
-                actions = txn.deferred_actions
-                txn.deferred_actions = []
-                if self._metrics.enabled:
-                    self._deferred_batch.observe(len(conditions) + len(actions))
-                # Deferred-queue blowup detector (§6.3): the commit that
-                # drains an oversized queue is where the latency lands.
-                self._watchdog.note_deferred_depth(len(conditions)
-                                                   + len(actions))
-                memo: Memo = {}
-                satisfied: List[Tuple[Rule, RuleFiring, ConditionOutcome, EventSignal]] = []
-                for rule, signal in conditions:
-                    if not rule.enabled:
-                        continue
-                    firing, outcome = self._evaluate_condition(
-                        rule, signal, txn, memo, DEFERRED)
-                    if outcome.satisfied:
-                        satisfied.append((rule, firing, outcome, signal))
-                for rule, firing, outcome, signal in satisfied:
-                    self._route_action(rule, firing, outcome, signal, txn)
-                for rule, signal, outcome, firing in actions:
-                    self._execute_action(rule, firing, outcome, signal, txn)
+            # Commit-time cascade scope: the triggering commit was already
+            # journalled as a stimulus; everything below is re-derived by
+            # replay, so stimulus capture is suppressed throughout.
+            with self._suppression():
+                rounds = 0
+                while txn.has_deferred_work():
+                    rounds += 1
+                    if rounds > self.config.max_deferred_rounds:
+                        raise RuleError(
+                            "deferred rule firings did not quiesce after"
+                            " %d rounds" % self.config.max_deferred_rounds)
+                    conditions = txn.deferred_conditions
+                    txn.deferred_conditions = []
+                    actions = txn.deferred_actions
+                    txn.deferred_actions = []
+                    if self._metrics.enabled:
+                        self._deferred_batch.observe(len(conditions)
+                                                     + len(actions))
+                    # Deferred-queue blowup detector (§6.3): the commit that
+                    # drains an oversized queue is where the latency lands.
+                    self._watchdog.note_deferred_depth(len(conditions)
+                                                       + len(actions))
+                    memo: Memo = {}
+                    satisfied: List[Tuple[Rule, RuleFiring, ConditionOutcome,
+                                          EventSignal]] = []
+                    for rule, signal in conditions:
+                        if not rule.enabled:
+                            continue
+                        firing, outcome = self._evaluate_condition(
+                            rule, signal, txn, memo, DEFERRED)
+                        if outcome.satisfied:
+                            satisfied.append((rule, firing, outcome, signal))
+                    for rule, firing, outcome, signal in satisfied:
+                        self._route_action(rule, firing, outcome, signal, txn)
+                    for rule, signal, outcome, firing in actions:
+                        self._execute_action(rule, firing, outcome, signal, txn)
         finally:
             self._spans.finish_span(bspan)

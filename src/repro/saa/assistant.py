@@ -71,18 +71,39 @@ class SecuritiesAssistant:
     uses "condition and action together in a separate transaction", i.e.
     E-C separate with C-A immediate (the default).  Pass
     ``coupling="immediate"`` for fully synchronous, deterministic runs.
+
+    With ``install=False`` the assistant registers its programs but issues
+    **no** database work: no schema, no event definition, no rule
+    creation.  Every rule the builder methods would have installed is
+    still constructed and collected in :attr:`rule_library` — the shape
+    the flight-recorder replay engine needs (replay re-issues schema,
+    events, and ``rule-create`` records from the journal, and binds them
+    to the library by name).  Builder calls must mirror the recording run
+    so generated rule names line up.
     """
 
-    def __init__(self, db: HiPAC, *, coupling: str = SEPARATE) -> None:
+    def __init__(self, db: HiPAC, *, coupling: str = SEPARATE,
+                 install: bool = True) -> None:
         self.db = db
         self.coupling = coupling
+        self.install = install
         self.tickers: Dict[str, Ticker] = {}
         self.displays: Dict[str, Display] = {}
         self.traders: Dict[str, Trader] = {}
+        #: every rule built by this assistant, installed or not, by name
+        self.rule_library: Dict[str, Rule] = {}
         self._trading_rule_count = 0
-        for class_def in saa_schema():
-            db.define_class(class_def)
-        db.define_event(TRADE_EXECUTED_EVENT, "symbol", "shares", "price", "client")
+        if install:
+            for class_def in saa_schema():
+                db.define_class(class_def)
+            db.define_event(TRADE_EXECUTED_EVENT,
+                            "symbol", "shares", "price", "client")
+
+    def _install_rule(self, rule: Rule) -> Rule:
+        self.rule_library[rule.name] = rule
+        if self.install:
+            self.db.create_rule(rule)
+        return rule
 
     # ------------------------------------------------------------ programs
 
@@ -116,7 +137,7 @@ class SecuritiesAssistant:
             return {"symbol": ctx.bindings.get("new_symbol"),
                     "price": ctx.bindings.get("new_price")}
 
-        self.db.create_rule(Rule(
+        self._install_rule(Rule(
             name="saa:ticker-window:%s" % analyst,
             event=on_update(STOCK_CLASS, attrs=["price"]),
             condition=Condition.true(),
@@ -134,7 +155,7 @@ class SecuritiesAssistant:
                     "price": ctx.bindings.get("price"),
                     "client": ctx.bindings.get("client")}
 
-        self.db.create_rule(Rule(
+        self._install_rule(Rule(
             name="saa:trade-display:%s" % analyst,
             event=ExternalEventSpec(
                 TRADE_EXECUTED_EVENT,
@@ -209,8 +230,7 @@ class SecuritiesAssistant:
                         % (shares, symbol, client, limit, service),
             group="trading",
         )
-        self.db.create_rule(rule)
-        return rule
+        return self._install_rule(rule)
 
     # ------------------------------------------------------------- helpers
 

@@ -9,6 +9,7 @@ answer.
 
 from __future__ import annotations
 
+import time as _time
 from typing import List, Optional
 
 from repro.rules.firing import FiringLog, RuleFiring
@@ -24,9 +25,16 @@ def render_transaction_tree(txn: Transaction, indent: str = "") -> str:
     return "\n".join(lines)
 
 
+def _wall_stamp(wall_time: float) -> str:
+    return _time.strftime("%H:%M:%S", _time.localtime(wall_time)) \
+        + ".%03d" % (int(wall_time * 1000) % 1000)
+
+
 def explain_firing(firing: RuleFiring) -> str:
-    """One firing, one sentence."""
-    parts = ["rule %r triggered by %s" % (firing.rule_name, firing.event)]
+    """One firing, one sentence (prefixed with its wall-clock time, so
+    dumps from different processes — live system vs. replay — align)."""
+    parts = ["[%s]" % _wall_stamp(firing.wall_time),
+             "rule %r triggered by %s" % (firing.rule_name, firing.event)]
     parts.append("(E-C %s, C-A %s)" % (firing.ec_coupling, firing.ca_coupling))
     if firing.deferred and firing.condition_txn is None:
         parts.append("queued for commit of %s" % firing.triggering_txn)

@@ -68,6 +68,10 @@ class TransactionManager:
         #: in-memory only (attached by the facade when durability is on)
         self.wal: Optional[Any] = None
         self.checkpointer: Optional[Any] = None
+        #: flight recorder; None unless the facade enables it.  Application
+        #: transaction boundaries are journalled as replayable stimuli
+        #: (internal and rule-cascade transactions are replay *output*).
+        self.recorder: Optional[Any] = None
         self._mutex = threading.Lock()
         self._live: Dict[str, Transaction] = {}
         self.stats = {"created": 0, "committed": 0, "aborted": 0,
@@ -93,6 +97,8 @@ class TransactionManager:
         with self._mutex:
             self._live[txn.txn_id] = txn
             self.stats["created"] += 1
+        if self.recorder is not None and not internal:
+            self.recorder.record_txn_begin(txn)
         if self.wal is not None:
             try:
                 self.wal.log_begin(txn)
@@ -136,6 +142,11 @@ class TransactionManager:
                 % (txn.txn_id, [child.txn_id for child in active_children])
             )
         txn.state = COMMITTING
+        # Journalled before the commit signal (intent discipline): §6.3
+        # deferred rule work runs inside the signal below, and replay
+        # re-derives it by re-issuing this commit.
+        if self.recorder is not None and not txn.internal:
+            self.recorder.record_txn_commit(txn)
         try:
             if self.event_sink is not None and self.signal_transaction_events:
                 self._signal("commit", txn)
@@ -207,6 +218,8 @@ class TransactionManager:
             raise TransactionStateError(
                 "cannot abort committed transaction %s" % txn.txn_id
             )
+        if self.recorder is not None and not txn.internal:
+            self.recorder.record_txn_abort(txn)
         # Abort any still-active descendants first (deepest first).
         for child in txn.active_children():
             self.abort_transaction(child, source=tracing.TRANSACTION_MANAGER)

@@ -169,6 +169,54 @@ class TestAdminServer:
         finally:
             db.close()
 
+    def test_non_integer_param_is_a_client_error(self):
+        db = _db()
+        try:
+            server = db.serve_admin()
+            status, _, body = _get(server.url + "/profile?top=ten")
+            assert status == 400
+            assert b"top" in body and b"integer" in body
+            # Negative counts clamp to zero rather than erroring.
+            status, _, body = _get(server.url + "/profile?top=-5")
+            assert status == 200
+            assert json.loads(body)["rules"] == {}
+        finally:
+            db.close()
+
+    def test_flight_endpoint_409_without_recorder(self):
+        db = _db()
+        try:
+            server = db.serve_admin()
+            status, _, body = _get(server.url + "/flight")
+            assert status == 409
+            assert b"flight_recorder=True" in body
+        finally:
+            db.close()
+
+    def test_flight_endpoint_serves_stats_and_segment(self, tmp_path):
+        db = _db(durability="wal", data_dir=tmp_path, flight_recorder=True)
+        try:
+            with db.transaction() as txn:
+                db.create("A", {"v": 1}, txn)
+            server = db.serve_admin()
+            status, _, body = _get(server.url + "/flight?last=2")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["stats"]["records"] > 0
+            assert len(payload["recent"]) == 2
+            assert payload["recent"][-1]["seq"] \
+                == payload["stats"]["last_seq"]
+            status, headers, body = _get(server.url + "/flight?download=1")
+            assert status == 200
+            assert "attachment" in headers["Content-Disposition"]
+            lines = [line for line in body.decode("utf-8").splitlines()
+                     if line.strip()]
+            assert len(lines) == payload["stats"]["records"]
+            status, _, body = _get(server.url + "/flight?last=zero")
+            assert status == 400
+        finally:
+            db.close()
+
     def test_serve_admin_is_idempotent_and_close_stops_it(self):
         db = _db()
         server = db.serve_admin()
