@@ -70,6 +70,7 @@ class HiPAC:
                  durability: Optional[str] = None,
                  data_dir: Optional[Any] = None,
                  wal_fsync: bool = True,
+                 fsync_interval_ms: Optional[int] = None,
                  checkpoint_interval: Optional[int] = None,
                  rule_library: Optional[Any] = None,
                  observability: Union[bool, str] = True,
@@ -169,8 +170,18 @@ class HiPAC:
         if flight_recorder:
             if data_dir is None:
                 raise ValueError("flight_recorder=True requires data_dir")
-            from repro.obs.flightrec import FlightRecorder
-            recorder = FlightRecorder(data_dir)
+            from repro.obs.flightrec import (DEFAULT_FSYNC_INTERVAL_MS,
+                                             FlightRecorder)
+            # The journal always runs in the bounded-window mode (an
+            # incident recorder tolerates an N-ms loss window; the strict
+            # WAL still anchors committed state) — a facade-level
+            # ``fsync_interval_ms`` overrides the journal default too.
+            recorder = FlightRecorder(
+                data_dir,
+                fsync_interval_ms=(fsync_interval_ms
+                                   if fsync_interval_ms is not None
+                                   else DEFAULT_FSYNC_INTERVAL_MS),
+                metrics=self.metrics)
             self.flight_recorder = recorder
             self.object_manager.recorder = recorder
             self.transaction_manager.recorder = recorder
@@ -183,7 +194,8 @@ class HiPAC:
         self._recovery_report: Optional[Any] = None
         self.durability = durability
         self._enable_durability(durability, data_dir, wal_fsync,
-                                checkpoint_interval, rule_library)
+                                fsync_interval_ms, checkpoint_interval,
+                                rule_library)
 
     def _bootstrap(self) -> None:
         """Create the ``HiPAC::Rule`` system class and program the Rule
@@ -198,6 +210,7 @@ class HiPAC:
 
     def _enable_durability(self, durability: Optional[str],
                            data_dir: Optional[Any], wal_fsync: bool,
+                           fsync_interval_ms: Optional[int],
                            checkpoint_interval: Optional[int],
                            rule_library: Optional[Any]) -> None:
         """Attach the recovery subsystem (after bootstrap, so the system
@@ -221,7 +234,9 @@ class HiPAC:
         report = None
         if has_durable_state(data_dir):
             report = replay_into(self, data_dir, rules=rule_library)
-        wal = WriteAheadLog(data_dir, fsync=wal_fsync, tracer=self.tracer,
+        wal = WriteAheadLog(data_dir, fsync=wal_fsync,
+                            fsync_interval_ms=fsync_interval_ms,
+                            tracer=self.tracer,
                             start_lsn=report.last_lsn if report else 0,
                             metrics=self.metrics)
         self.wal = wal
@@ -577,18 +592,11 @@ class HiPAC:
             for key, value in detector.stats.items():
                 events["%s_%s" % (name, key)] = value
         recovery = {
-            "wal_records": 0, "wal_fsyncs": 0, "wal_commits_forced": 0,
-            "wal_append_failures": 0, "checkpoints": 0,
+            "checkpoints": 0,
             "checkpoints_skipped": 0, "replays": 0, "replayed_records": 0,
             "replayed_spheres": 0, "discarded_spheres": 0,
             "rules_rebound": 0, "rules_unbound": 0,
         }
-        if self.wal is not None:
-            recovery["wal_records"] = self.wal.stats["records"]
-            recovery["wal_fsyncs"] = self.wal.stats["fsyncs"]
-            recovery["wal_commits_forced"] = self.wal.stats["commits_forced"]
-            recovery["wal_append_failures"] = \
-                self.wal.stats["append_failures"]
         if self.checkpointer is not None:
             recovery["checkpoints"] = self.checkpointer.stats["checkpoints"]
             recovery["checkpoints_skipped"] = self.checkpointer.stats["skipped"]
@@ -600,13 +608,33 @@ class HiPAC:
             recovery["discarded_spheres"] = report.discarded_spheres
             recovery["rules_rebound"] = report.rules_rebound
             recovery["rules_unbound"] = len(report.rules_unbound)
-        flightrec = {
-            "records": 0, "suppressed": 0, "segments": 0, "rotations": 0,
-            "dropped_segments": 0, "bytes": 0, "last_seq": 0,
-            "checkpoint_markers": 0,
-        }
+        # One ``storage`` family for both segment streams: the WAL
+        # (``wal_*``) and the flight journal (``journal_*``), each the
+        # shared segment writer's counters plus its domain layer's own.
+        storage: Dict[str, int] = {}
+        wal_stats = dict.fromkeys(
+            ("records", "bytes", "segments", "fsyncs", "syncs",
+             "group_leads", "group_follows", "batched_records",
+             "commits_forced", "append_failures"), 0)
+        if self.wal is not None:
+            wal_stats.update(self.wal.stats)
+            wal_stats.pop("rotations", None)
+            wal_stats.pop("dropped_segments", None)
+            wal_stats.pop("last_seq", None)
+        for key, value in wal_stats.items():
+            storage["wal_%s" % key] = value
+        journal_stats = dict.fromkeys(
+            ("records", "bytes", "segments", "rotations",
+             "dropped_segments", "fsyncs", "last_seq", "suppressed",
+             "checkpoint_markers"), 0)
         if self.flight_recorder is not None:
-            flightrec.update(self.flight_recorder.stats)
+            journal_stats.update(self.flight_recorder.stats)
+            journal_stats.pop("syncs", None)
+            journal_stats.pop("group_leads", None)
+            journal_stats.pop("group_follows", None)
+            journal_stats.pop("batched_records", None)
+        for key, value in journal_stats.items():
+            storage["journal_%s" % key] = value
         return {
             "rules": dict(self.rule_manager.stats),
             "events": events,
@@ -626,5 +654,5 @@ class HiPAC:
                 "slow_dropped": self.slow_log.dropped,
                 "firing_log_dropped": self.rule_manager.firings.dropped,
             },
-            "flightrec": flightrec,
+            "storage": storage,
         }

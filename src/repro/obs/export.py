@@ -115,6 +115,14 @@ HELP_TEXTS: Dict[str, str] = {
     "cond_eval_seconds": "Condition evaluation latency (sampled)",
     "wal_append_seconds": "WAL record append latency (sampled)",
     "wal_fsync_seconds": "WAL force (fsync) latency",
+    "wal_group_batch_size":
+        "Records made durable per group-commit leader fsync",
+    "wal_group_leader_total": "Group-commit syncs that led the fsync",
+    "wal_group_follower_total":
+        "Group-commit syncs satisfied by another leader's fsync",
+    "journal_append_seconds":
+        "Flight-journal record append latency (sampled)",
+    "journal_fsync_seconds": "Flight-journal background fsync latency",
 }
 
 

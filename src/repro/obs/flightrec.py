@@ -6,7 +6,7 @@ is no way to reconstruct *which* stimuli produced the incident.  The
 flight recorder closes that gap: every event that enters rule processing
 from **outside** — application transaction boundaries, top-level data
 operations, external signals, temporal occurrences, rule administration —
-is appended to a size-bounded, CRC-checked JSONL journal living next to
+is appended to a size-bounded, checksummed segment stream living next to
 the WAL and checkpoint in ``data_dir/flight/``.
 
 Because active-rule behaviour is a deterministic function of the event
@@ -35,59 +35,66 @@ intent discipline).  A torn final record therefore denotes a stimulus that
 never ran: readers drop it and the journal still matches the committed
 state exactly.
 
-Writes buffer in the process and are pushed to the OS at every record
-that can *trigger durable effects* — commit/abort intents, external and
-temporal stimuli, explicit fires, rule administration, checkpoint
-markers, separate-thread firings.  The journal is one sequential file,
-so each boundary flush carries the whole buffered prefix with it:
-txn-begin/op records of a sphere always reach the OS before that
-sphere's commit intent executes (and hence before the WAL can force the
-sphere durable).  A hard process kill can only lose records whose
-effects were not durable either, so replay of the surviving prefix
-still reproduces the committed store.
+**Durability window.**  By default the journal runs in the segment
+store's bounded-window mode (``DEFAULT_FSYNC_INTERVAL_MS``): appended
+records queue in recorder memory and a background thread frames, writes,
+and fsyncs them every N milliseconds — so the JSON framing cost leaves
+the stimulus hot path entirely (on a loaded system it overlaps the WAL's
+commit fsyncs), at the price of up to N ms of journal being lost to a
+hard crash.  An incident recorder tolerates that trade: a lost tail is
+bounded, reported by replay as a divergence note, and never corrupts the
+surviving prefix (the torn-tail scan rule).  Passing
+``fsync_interval_ms=None`` restores the strict mode, where writes are
+pushed to the OS at every record that can *trigger durable effects* —
+commit/abort intents, external and temporal stimuli, explicit fires,
+rule administration, checkpoint markers, separate-thread firings.  The
+journal is one sequential stream, so each boundary flush carries the
+whole buffered prefix with it: txn-begin/op records of a sphere always
+reach the OS before that sphere's commit intent executes (and hence
+before the WAL can force the sphere durable), and a hard process kill
+can only lose records whose effects were not durable either.
 
 **Journal compaction.**  The dominant journal traffic is the
 begin/op/commit plumbing of single-operation application transactions
-(every SAA quote is one).  While a top-level transaction's records are
-strictly consecutive — nothing from another transaction, thread, or
-detector has been journalled since its begin — the recorder buffers
-them, and at the commit intent emits one ``"txn"`` record carrying the
-label, the ordered operation list, and the firing responses the
-transaction's cascades produced.  Replay expands it back to
-begin → ops → commit (re-deriving the firings live).  Any
-interleaving record — another transaction, an external/temporal/fire
-stimulus, rule administration, a separate-thread firing, a checkpoint
-marker, an abort — spills the buffer in the faithful record-by-record
-form first, so coalescing only ever compacts a run the journal would
-have serialized contiguously anyway.  Buffering in recorder memory is
+(every SAA quote is one).  A journalled top-level sphere therefore
+buffers its begin/op/firing records *on the transaction object itself*
+(``txn.flight_tail``) — the sphere is thread-confined, so those appends
+take no lock at all — and at the commit intent the recorder emits one
+``"txn"`` record carrying the label, the ordered operation list, and the
+firing responses the transaction's cascades produced.  Replay expands it
+back to begin → ops → commit (re-deriving the firings live).  A sphere's
+journal position is thus its *commit intent* — the same serialization
+point the WAL gives it — while independent stimuli (signals, rule admin,
+separate-thread firings) keep their arrival order among themselves; an
+abort spills the buffer in the faithful record-by-record form instead,
+since aborted work is incident material.  Buffering on the sphere is
 crash-equivalent to the libc buffer: a lost tail is an uncommitted
 sphere the WAL discards too.
 
-Record format (one JSON object per line)::
+Record shape (framed by :mod:`repro.storage.framing`; old JSONL segments
+remain readable through the same module's compatibility scanner)::
 
     {"seq": 41, "type": "external", "wall": 1754450000.123,
-     "txn": "t7", "data": {...}, "crc": 2774362813}
+     "txn": "t7", "data": {...}}
 
 ``seq`` increases monotonically across segments and process restarts;
 ``wall`` is wall-clock epoch time (journals are read across processes, so
-no monotonic clocks); ``crc`` covers the canonical JSON of the other
-fields, exactly as in the WAL.
+no monotonic clocks).
 """
 
 from __future__ import annotations
 
-import json
-import os
 import threading
 import time
-import zlib
 from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
 from typing import (TYPE_CHECKING, Any, Deque, Dict, Iterator, List,
                     Optional, Tuple)
 
+from repro.obs.metrics import MetricsRegistry
 from repro.recovery.serialize import encode_operation, encode_value
+from repro.storage import SegmentWriter, read_stream, scan_segment, segment_files
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.events.signal import EventSignal
@@ -96,7 +103,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.txn.transaction import Transaction
 
 FLIGHT_DIRNAME = "flight"
-SEGMENT_PATTERN = "flight-%08d.jsonl"
+FLIGHT_PREFIX = "flight"
+
+#: default journal durability window (ms) — appended records queue in
+#: memory and the segment writer's background thread frames, writes, and
+#: fsyncs them this often.  Pass ``fsync_interval_ms=None`` to the
+#: recorder for the strict flush-at-every-boundary mode instead.
+DEFAULT_FSYNC_INTERVAL_MS = 100
 
 # Stimulus record types (replayed by the replay engine, in order).
 TXN_BEGIN = "txn-begin"
@@ -126,52 +139,24 @@ STIMULUS_TYPES = frozenset({
 })
 
 
-def _record_crc(record: Dict[str, Any]) -> int:
-    payload = json.dumps(
-        {key: record[key] for key in ("seq", "type", "wall", "txn", "data")},
-        sort_keys=True, separators=(",", ":"))
-    return zlib.crc32(payload.encode("utf-8"))
-
-
 def journal_dir(data_dir: Any) -> Path:
     """The journal directory under a HiPAC data directory."""
     return Path(data_dir) / FLIGHT_DIRNAME
 
 
 def journal_segments(data_dir: Any) -> List[Path]:
-    """Existing journal segments, oldest first."""
-    directory = journal_dir(data_dir)
-    if not directory.exists():
-        return []
-    return sorted(directory.glob("flight-*.jsonl"))
+    """Existing journal segments (old JSONL and new binary), oldest first."""
+    return segment_files(journal_dir(data_dir), FLIGHT_PREFIX)
 
 
 def read_segment(path: Path, last_seq: int = 0) -> Tuple[List[Dict[str, Any]], int]:
     """Read the valid prefix of one segment (the WAL's torn-tail rule).
 
     Returns ``(records, discarded)``; reading stops at the first
-    malformed / CRC-failing / non-increasing-seq record, and everything
-    after it counts as discarded.
+    malformed / checksum-failing / non-increasing-seq record, and
+    everything after it counts as discarded.
     """
-    if not path.exists():
-        return [], 0
-    lines = path.read_text(encoding="utf-8").splitlines()
-    records: List[Dict[str, Any]] = []
-    for index, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-            crc = record["crc"]
-            seq = record["seq"]
-        except (ValueError, KeyError, TypeError):
-            return records, len(lines) - index
-        if _record_crc(record) != crc or seq <= last_seq:
-            return records, len(lines) - index
-        last_seq = seq
-        records.append(record)
-    return records, 0
+    return scan_segment(path, seq_field="seq", last_seq=last_seq)
 
 
 def read_journal(data_dir: Any) -> Tuple[List[Dict[str, Any]], int]:
@@ -181,24 +166,7 @@ def read_journal(data_dir: Any) -> Tuple[List[Dict[str, Any]], int]:
     the trusted prefix is exactly what a sequential writer durably
     completed before the first tear.
     """
-    records: List[Dict[str, Any]] = []
-    discarded = 0
-    segments = journal_segments(data_dir)
-    last_seq = 0
-    for index, segment in enumerate(segments):
-        seg_records, seg_discarded = read_segment(segment, last_seq)
-        records.extend(seg_records)
-        if seg_records:
-            last_seq = seg_records[-1]["seq"]
-        if seg_discarded:
-            discarded += seg_discarded
-            for later in segments[index + 1:]:
-                discarded += sum(
-                    1 for line in
-                    later.read_text(encoding="utf-8").splitlines()
-                    if line.strip())
-            break
-    return records, discarded
+    return read_stream(journal_dir(data_dir), FLIGHT_PREFIX, seq_field="seq")
 
 
 class FlightRecorder:
@@ -207,85 +175,45 @@ class FlightRecorder:
     Thread-safe: a single lock serializes appends (journal order *is* the
     replay order, so concurrent producers must interleave through one
     point); the suppression counter is thread-local, so one thread doing
-    rule-cascade work does not mute application threads.
+    rule-cascade work does not mute application threads.  Framing,
+    rotation, retention, and the optional background-fsync window are the
+    shared segment writer's job (:mod:`repro.storage.segments`).
     """
 
     def __init__(self, data_dir: Any, *,
                  max_segment_bytes: int = 4 * 1024 * 1024,
                  max_segments: int = 8,
-                 recent_capacity: int = 256) -> None:
+                 recent_capacity: int = 256,
+                 fsync_interval_ms: Optional[int] = DEFAULT_FSYNC_INTERVAL_MS,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.data_dir = Path(data_dir)
         self.directory = journal_dir(data_dir)
-        self.directory.mkdir(parents=True, exist_ok=True)
         self.max_segment_bytes = max_segment_bytes
         self.max_segments = max_segments
         self._mutex = threading.Lock()
         self._local = threading.local()
         self._recent: Deque[Dict[str, Any]] = deque(maxlen=recent_capacity)
-        #: coalescing buffer for the newest still-open top-level
-        #: transaction whose records have been strictly consecutive
-        self._tail: Optional[Dict[str, Any]] = None
         self._closed = False
-        self.stats: Dict[str, int] = {
-            "records": 0,
+        self._stats: Dict[str, int] = {
             "suppressed": 0,
-            "segments": 0,
-            "rotations": 0,
-            "dropped_segments": 0,
-            "bytes": 0,
-            "last_seq": 0,
             "checkpoint_markers": 0,
         }
-        existing = journal_segments(data_dir)
-        self._seq = self._scan_last_seq(existing)
-        next_index = self._next_segment_index(existing)
-        # A new session always opens a fresh segment: the previous
-        # session's tail may be torn, and appending past a tear would
-        # hide good records behind a bad one.
-        self._open_segment(next_index)
-        self.stats["segments"] = len(journal_segments(data_dir))
-        self.stats["last_seq"] = self._seq
+        # A new session always opens a fresh segment (the writer's rule):
+        # the previous session's tail may be torn, and appending past a
+        # tear would hide good records behind a bad one.
+        self._writer = SegmentWriter(
+            self.directory, FLIGHT_PREFIX, seq_field="seq",
+            fsync_interval_ms=fsync_interval_ms,
+            max_segment_bytes=max_segment_bytes,
+            max_segments=max_segments,
+            metrics=metrics, metric_prefix="journal")
 
-    # -- segment plumbing -------------------------------------------------
-
-    @staticmethod
-    def _scan_last_seq(segments: List[Path]) -> int:
-        last = 0
-        for segment in segments:
-            records, _ = read_segment(segment, last)
-            if records:
-                last = records[-1]["seq"]
-        return last
-
-    @staticmethod
-    def _next_segment_index(segments: List[Path]) -> int:
-        if not segments:
-            return 1
-        tail = segments[-1].stem  # "flight-00000007"
-        try:
-            return int(tail.split("-", 1)[1]) + 1
-        except (IndexError, ValueError):
-            return len(segments) + 1
-
-    def _open_segment(self, index: int) -> None:
-        self._segment_index = index
-        self._segment_path = self.directory / (SEGMENT_PATTERN % index)
-        self._file = open(self._segment_path, "a", encoding="utf-8")
-        self._segment_bytes = self._segment_path.stat().st_size
-
-    def _rotate_locked(self) -> None:
-        self._file.close()
-        self._open_segment(self._segment_index + 1)
-        self.stats["rotations"] += 1
-        segments = journal_segments(self.data_dir)
-        while len(segments) > self.max_segments:
-            victim = segments.pop(0)
-            try:
-                os.unlink(victim)
-            except OSError:
-                break
-            self.stats["dropped_segments"] += 1
-        self.stats["segments"] = len(segments)
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Recorder counters merged with the underlying writer's."""
+        merged = dict(self._writer.stats)
+        merged.update(self._stats)
+        return merged
 
     # -- suppression ------------------------------------------------------
 
@@ -313,7 +241,7 @@ class FlightRecorder:
         if self._closed:
             return False
         if respect_suppression and self.suppressed_here:
-            self.stats["suppressed"] += 1
+            self._stats["suppressed"] += 1
             return False
         return True
 
@@ -329,8 +257,8 @@ class FlightRecorder:
         responses preceding their boundary).  Every boundary record — the
         commit/abort intent, cascade-triggering stimuli, rule admin,
         checkpoint markers — flushes, and a flush pushes the whole
-        buffered prefix of the (single, sequential) file with it, so any
-        state the WAL could have made durable has its causal journal
+        buffered prefix of the (single, sequential) stream with it, so
+        any state the WAL could have made durable has its causal journal
         prefix in the OS already.
         """
         if not self._admit(respect_suppression):
@@ -338,124 +266,125 @@ class FlightRecorder:
         with self._mutex:
             if self._closed:
                 return None
-            self._spill_tail_locked()
+            self._spill_current_sphere_locked()
             return self._append_locked(rtype, data, txn, flush)
 
     def _append_locked(self, rtype: str, data: Optional[Dict[str, Any]],
                        txn: Optional[str], flush: bool) -> int:
-        self._seq += 1
-        wall = time.time()
-        # Hot path: build the canonical line in one serialization pass.
-        # The envelope is formatted by hand in canonical key order
-        # (sorted: crc, data, seq, txn, type, wall) so the emitted
-        # bytes are exactly what ``json.dumps(record, sort_keys=True)``
-        # would produce — readers recompute the CRC from the parsed
-        # record and must land on the same canonical form.  ``txn`` ids
-        # are internal ASCII tokens ("t-42") and ``rtype`` is a module
-        # constant, so neither needs escaping; ``repr`` of a float is
-        # the JSON float serialization.
-        body = '{"data":%s,"seq":%d,"txn":%s,"type":"%s","wall":%s}' % (
-            json.dumps(data or {}, sort_keys=True,
-                       separators=(",", ":")),
-            self._seq,
-            '"%s"' % txn if txn is not None else "null",
-            rtype, repr(wall))
-        crc = zlib.crc32(body.encode("utf-8"))
-        line = '{"crc":%d,%s\n' % (crc, body[1:])
-        self._file.write(line)
-        if flush:
-            self._file.flush()
-        # json.dumps escapes non-ASCII by default, so the line is pure
-        # ASCII and ``len`` is its byte length.
-        self._segment_bytes += len(line)
-        self.stats["records"] += 1
-        self.stats["bytes"] += len(line)
-        self.stats["last_seq"] = self._seq
-        self._recent.append({"seq": self._seq, "type": rtype,
-                             "wall": wall, "txn": txn,
-                             "data": data or {}, "crc": crc})
-        if self._segment_bytes >= self.max_segment_bytes:
-            self._rotate_locked()
-        return self._seq
+        # One dict serves both the journal and the recent ring: the
+        # writer fills in "seq", and nobody mutates a record after
+        # append (the ring and the admin endpoint only read it).
+        fields = {"seq": 0, "type": rtype, "wall": time.time(),
+                  "txn": txn, "data": data or {}}
+        seq = self._writer.append(fields, flush=flush)
+        self._recent.append(fields)
+        return seq
 
-    def _spill_tail_locked(self) -> None:
-        """Write a buffered transaction out faithfully (begin + entries).
+    def _spill_sphere_locked(self, txn: "Transaction",
+                             tail: Dict[str, Any]) -> None:
+        """Write a buffered sphere out faithfully (begin + entries), in
+        their arrival order — the expanded form coalescing would have
+        compacted.  Used where fidelity beats compaction (aborts) and
+        whenever an interleaving record must keep the journal a true
+        serialization of the stimulus sequence."""
+        begin = {"parent": None, "label": txn.label}
+        self._append_locked(TXN_BEGIN, begin, txn.txn_id, False)
+        for rtype, data, rtxn in tail["entries"]:
+            self._append_locked(rtype, data, rtxn, False)
 
-        Called whenever a record that cannot extend the tail arrives:
-        the buffered records land first, in their arrival order, so the
-        journal stays a true serialization of the stimulus sequence —
-        the tail only ever *compacts* a run that was consecutive anyway.
+    def _spill_current_sphere_locked(self) -> None:
+        """Spill the calling thread's open buffered sphere, if any.
+
+        Called before any standalone append: a record that is not part
+        of the thread's open sphere cannot journal ahead of the records
+        that preceded it, so the sphere gives up coalescing and lands in
+        its faithful form first (its commit then journals a plain commit
+        record).  Spheres open on *other* threads are unaffected — their
+        records serialize at their own commit intents.
         """
-        tail = self._tail
-        if tail is None:
+        sphere = getattr(self._local, "sphere", None)
+        if sphere is None:
             return
-        self._tail = None
-        self._append_locked(TXN_BEGIN, tail["begin"], tail["txn"], False)
-        for rtype, data, txn in tail["entries"]:
-            self._append_locked(rtype, data, txn, False)
+        self._local.sphere = None
+        tail = sphere.flight_tail
+        sphere.flight_tail = None
+        if tail is not None:
+            self._spill_sphere_locked(sphere, tail)
 
     # -- domain helpers (stimuli; all honour suppression) -----------------
 
     def record_txn_begin(self, txn: "Transaction") -> Optional[int]:
         if not self._admit():
             return None
-        parent = txn.parent.txn_id if txn.parent is not None else None
-        begin = {"parent": parent, "label": txn.label}
+        if txn.parent is None:
+            # Top-level: buffer on the (thread-confined) transaction —
+            # no lock — hoping to coalesce the whole sphere into one
+            # record at its commit intent.
+            txn.flight_tail = {"entries": [], "ops": 0}
+            self._local.sphere = txn
+            return None
+        begin = {"parent": txn.parent.txn_id, "label": txn.label}
         with self._mutex:
             if self._closed:
                 return None
-            self._spill_tail_locked()
-            if parent is None:
-                # Top-level: buffer, hoping to coalesce the whole
-                # transaction into one record at its commit intent.
-                self._tail = {"txn": txn.txn_id, "begin": begin,
-                              "entries": [], "ops": 0}
-                return None
+            self._spill_current_sphere_locked()
             return self._append_locked(TXN_BEGIN, begin, txn.txn_id, False)
 
     def record_txn_commit(self, txn: "Transaction") -> Optional[int]:
         if not self._admit():
             return None
+        tail = txn.flight_tail
+        txn.flight_tail = None
+        if getattr(self._local, "sphere", None) is txn:
+            self._local.sphere = None
+        if tail is None:
+            with self._mutex:
+                if self._closed:
+                    return None
+                self._spill_current_sphere_locked()
+                return self._append_locked(TXN_COMMIT, None, txn.txn_id,
+                                           True)
+        if not tail["entries"]:
+            return None  # empty transaction: no effects, no journal
+        if not tail["ops"]:
+            # Firing responses but no ops (nothing to coalesce
+            # around): spill faithfully.
+            with self._mutex:
+                if self._closed:
+                    return None
+                self._spill_sphere_locked(txn, tail)
+                return self._append_locked(TXN_COMMIT, None, txn.txn_id,
+                                           True)
+        auto: Dict[str, Any] = {
+            "label": txn.label,
+            "ops": [data for rtype, data, _ in tail["entries"]
+                    if rtype == OPERATION],
+        }
+        firings = [data for rtype, data, _ in tail["entries"]
+                   if rtype == FIRING]
+        if firings:
+            auto["firings"] = firings
         with self._mutex:
             if self._closed:
                 return None
-            tail = self._tail
-            if tail is None or tail["txn"] != txn.txn_id:
-                self._spill_tail_locked()
-                return self._append_locked(TXN_COMMIT, None, txn.txn_id,
-                                           True)
-            self._tail = None
-            if not tail["entries"]:
-                return None  # empty transaction: no effects, no journal
-            if not tail["ops"]:
-                # Firing responses but no ops (nothing to coalesce
-                # around): spill faithfully.
-                self._append_locked(TXN_BEGIN, tail["begin"],
-                                    tail["txn"], False)
-                for rtype, data, rtxn in tail["entries"]:
-                    self._append_locked(rtype, data, rtxn, False)
-                return self._append_locked(TXN_COMMIT, None, txn.txn_id,
-                                           True)
-            auto: Dict[str, Any] = {
-                "label": tail["begin"]["label"],
-                "ops": [data for rtype, data, _ in tail["entries"]
-                        if rtype == OPERATION],
-            }
-            firings = [data for rtype, data, _ in tail["entries"]
-                       if rtype == FIRING]
-            if firings:
-                auto["firings"] = firings
             return self._append_locked(TXN_AUTO, auto, txn.txn_id, True)
 
     def record_txn_abort(self, txn: "Transaction") -> Optional[int]:
         if not self._admit():
             return None
+        tail = txn.flight_tail
+        txn.flight_tail = None
+        if getattr(self._local, "sphere", None) is txn:
+            self._local.sphere = None
         with self._mutex:
             if self._closed:
                 return None
-            # Aborts are incident material: always spill the tail and
-            # keep the faithful record-by-record form.
-            self._spill_tail_locked()
+            # Aborts are incident material: spill the buffered sphere
+            # (and any enclosing one on this thread) and keep the
+            # faithful record-by-record form.
+            self._spill_current_sphere_locked()
+            if tail is not None:
+                self._spill_sphere_locked(txn, tail)
             return self._append_locked(TXN_ABORT, None, txn.txn_id, True)
 
     def record_operation(self, op: "Operation", txn: "Transaction",
@@ -463,15 +392,15 @@ class FlightRecorder:
         if not self._admit():
             return None
         data = {"op": encode_operation(op), "user": user}
+        tail = txn.flight_tail
+        if tail is not None:
+            tail["entries"].append((OPERATION, data, txn.txn_id))
+            tail["ops"] += 1
+            return None
         with self._mutex:
             if self._closed:
                 return None
-            tail = self._tail
-            if tail is not None and tail["txn"] == txn.txn_id:
-                tail["entries"].append((OPERATION, data, txn.txn_id))
-                tail["ops"] += 1
-                return None
-            self._spill_tail_locked()
+            self._spill_current_sphere_locked()
             return self._append_locked(OPERATION, data, txn.txn_id, False)
 
     def record_signal(self, signal: "EventSignal", *,
@@ -503,13 +432,15 @@ class FlightRecorder:
 
     # -- responses / markers (bypass suppression) -------------------------
 
-    def record_firing(self, firing: "RuleFiring") -> Optional[int]:
+    def record_firing(self, firing: "RuleFiring",
+                      sphere: Optional["Transaction"] = None) -> Optional[int]:
         """Journal one evaluation-complete firing outcome (a response).
 
-        Synchronous firings buffer (their transaction's commit intent
-        flushes them); separate-thread firings flush themselves — their
-        sphere commits outside any journalled transaction, so nothing
-        downstream would push them out.
+        Synchronous firings buffer on their enclosing sphere when the
+        caller passes it (``sphere``, the top-level transaction whose
+        commit intent will flush them); separate-thread firings flush
+        themselves — their sphere commits outside any journalled
+        transaction, so nothing downstream would push them out.
         """
         if self._closed:
             return None
@@ -523,15 +454,19 @@ class FlightRecorder:
             "wall_time": firing.wall_time,
         }
         txn = firing.triggering_txn
+        if sphere is not None and not firing.separate_thread:
+            # Buffer on the enclosing sphere (cascade firings included:
+            # they arrive strictly between the sphere's begin and its
+            # commit intent, so folding them into its record preserves
+            # the global firing order replay re-derives).
+            tail = sphere.flight_tail
+            if tail is not None:
+                tail["entries"].append((FIRING, data, txn))
+                return None
         with self._mutex:
             if self._closed:
                 return None
-            tail = self._tail
-            if (tail is not None and not firing.separate_thread
-                    and tail["txn"] == txn):
-                tail["entries"].append((FIRING, data, txn))
-                return None
-            self._spill_tail_locked()
+            self._spill_current_sphere_locked()
             return self._append_locked(FIRING, data, txn,
                                        firing.separate_thread)
 
@@ -541,7 +476,7 @@ class FlightRecorder:
         seq = self.record(CHECKPOINT, {"lsn": lsn},
                           respect_suppression=False)
         if seq is not None:
-            self.stats["checkpoint_markers"] += 1
+            self._stats["checkpoint_markers"] += 1
         return seq
 
     # -- introspection ----------------------------------------------------
@@ -556,17 +491,29 @@ class FlightRecorder:
     @property
     def segment_path(self) -> Path:
         """Path of the segment currently being appended to."""
-        return self._segment_path
+        return self._writer.segment_path
+
+    def flush(self) -> None:
+        """Push every appended record to the OS.
+
+        Readers of the on-disk journal mid-session (the admin download
+        endpoint) call this first: in the bounded-window default, recent
+        records may still be queued in writer memory.  A sphere still
+        open at this point is *not* journalled yet — its buffered records
+        land at its commit intent, the same place the WAL serializes it.
+        """
+        with self._mutex:
+            if self._closed:
+                return
+            self._writer.flush()
 
     def close(self) -> None:
         with self._mutex:
             if self._closed:
                 return
-            # A transaction still open at orderly shutdown spills in its
-            # faithful form: no commit record follows, so replay aborts
-            # it at end-of-journal — exactly what the crash semantics of
-            # an unfinished sphere require.
-            self._spill_tail_locked()
+            # A transaction still open at orderly shutdown keeps its
+            # buffer: no commit record exists, so replay never runs it —
+            # exactly what the crash semantics of an unfinished sphere
+            # require (the WAL discards its work too).
             self._closed = True
-            self._file.flush()
-            self._file.close()
+            self._writer.close()

@@ -138,10 +138,17 @@ class _AdminHandler(BaseHTTPRequestHandler):
                        " flight_recorder=True to journal stimuli")
             return
         if query.get("download", [""])[0]:
-            data = recorder.segment_path.read_text(encoding="utf-8")
-            self._send(200, "application/x-ndjson", data, extra_headers=(
-                ("Content-Disposition",
-                 'attachment; filename="%s"' % recorder.segment_path.name),))
+            # Binary segment frames — streamed as-is; read it back with
+            # repro.storage.scan_segment.  Flush first: under the
+            # bounded-window default the newest records are still queued
+            # in recorder memory.
+            recorder.flush()
+            data = recorder.segment_path.read_bytes()
+            self._send_bytes(200, "application/octet-stream", data,
+                             extra_headers=(
+                                 ("Content-Disposition",
+                                  'attachment; filename="%s"'
+                                  % recorder.segment_path.name),))
             return
         last = _int_param(query, "last", 50)
         self._send_json(200, {
@@ -171,7 +178,11 @@ class _AdminHandler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, content_type: str, body: str,
               extra_headers: Tuple[Tuple[str, str], ...] = ()) -> None:
-        data = body.encode("utf-8")
+        self._send_bytes(status, content_type, body.encode("utf-8"),
+                         extra_headers=extra_headers)
+
+    def _send_bytes(self, status: int, content_type: str, data: bytes,
+                    extra_headers: Tuple[Tuple[str, str], ...] = ()) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))

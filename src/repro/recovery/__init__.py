@@ -19,7 +19,12 @@ from repro.recovery.recover import (
     recover,
     replay_into,
 )
-from repro.recovery.wal import WAL_FILENAME, WriteAheadLog, read_wal_records
+from repro.recovery.wal import (
+    WAL_FILENAME,
+    WriteAheadLog,
+    read_wal_records,
+    wal_files,
+)
 
 __all__ = [
     "CHECKPOINT_FILENAME",
@@ -36,4 +41,5 @@ __all__ = [
     "recover",
     "replay_into",
     "truncated_copy",
+    "wal_files",
 ]

@@ -67,8 +67,7 @@ def has_durable_state(data_dir: Any) -> bool:
     base = Path(data_dir)
     if (base / CHECKPOINT_FILENAME).exists():
         return True
-    wal_path = base / wal_mod.WAL_FILENAME
-    return wal_path.exists() and wal_path.stat().st_size > 0
+    return any(path.stat().st_size > 0 for path in wal_mod.wal_files(base))
 
 
 def _rule_library(rules: Union[None, Dict[str, Rule], Iterable[Rule]]
@@ -170,8 +169,7 @@ def replay_into(db: Any, data_dir: Any,
         report.checkpoint_lsn = checkpoint["lsn"]
         apply_checkpoint_state(store, checkpoint)
 
-    records, discarded = wal_mod.read_wal_records(
-        Path(data_dir) / wal_mod.WAL_FILENAME)
+    records, discarded = wal_mod.read_wal_records(data_dir)
     report.discarded_lines = discarded
     report.last_lsn = max(report.checkpoint_lsn,
                           records[-1]["lsn"] if records else 0)

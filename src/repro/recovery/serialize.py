@@ -20,8 +20,17 @@ from repro.objstore.store import Delta
 from repro.objstore.types import AttributeDef, ClassDef
 
 
+#: the leaf types JSON represents natively — the overwhelmingly common
+#: case on the WAL/journal hot path, dispatched before the isinstance
+#: chain (exact-type check: a bool/int/str *subclass* still falls
+#: through to the chain and, unrecognised, passes through unchanged)
+_JSON_NATIVE = frozenset({str, int, float, bool, type(None)})
+
+
 def encode_value(value: Any) -> Any:
     """Return a JSON-representable encoding of an attribute value."""
+    if value.__class__ in _JSON_NATIVE:
+        return value
     if isinstance(value, OID):
         return {"$": "oid", "v": [value.class_name, value.number]}
     if isinstance(value, tuple):

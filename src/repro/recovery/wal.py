@@ -1,26 +1,30 @@
-"""Write-ahead log: append-only JSONL with a CRC per record.
+"""Write-ahead log: a domain layer over the shared segment store.
 
 The paper's execution model makes top-level transactions "atomic,
 serializable, and permanent" (§3.1); this log supplies *permanent*.  Every
 state change — object create/update/delete, class define/drop, rule
-create/drop, transaction begin/commit/abort — is appended as one JSON line
-before (or, for compensations, exactly as) it is applied, and the log is
-**forced before ``commit_transaction`` returns** for top-level transactions
-(§6.3 ordering: deferred rule work runs first, inside the committing
-transaction, so its deltas precede the commit record; the commit record is
-then the last thing made durable before commit processing resumes).
+create/drop, transaction begin/commit/abort — is appended as one framed
+record before (or, for compensations, exactly as) it is applied, and the
+log is **forced before ``commit_transaction`` returns** for top-level
+transactions (§6.3 ordering: deferred rule work runs first, inside the
+committing transaction, so its deltas precede the commit record; the
+commit record is then the last thing made durable before commit
+processing resumes).
 
-Record format (one JSON object per line, keys sorted)::
+Framing, torn-tail scanning, segment rotation, and the durability wait
+itself all live in :mod:`repro.storage`: the WAL appends records shaped
+as ::
 
-    {"lsn": 17, "type": "delta", "txn": "t5", "sphere": "t3",
-     "data": {...}, "crc": 2774362813}
+    {"lsn": 17, "type": "delta", "txn": "t5", "sphere": "t3", "data": {...}}
+
+and calls :meth:`~repro.storage.segments.SegmentWriter.sync` at each
+top-level commit.  Under concurrency that sync is a **group commit**:
+one leader fsyncs the whole pending batch for every parked committer,
+so N simultaneous commits cost one fsync.
 
 ``sphere`` is the id of the record's *top-level* transaction: recovery
 groups deltas by sphere and applies a sphere's records only when its
-top-level commit record is present in the durable prefix.  ``crc`` is the
-CRC-32 of the record's canonical JSON without the ``crc`` field; readers
-stop at the first record that fails the check (a torn tail write), so the
-replayed prefix is exactly the set of fully-durable records.
+top-level commit record is present in the durable prefix.
 
 Nested-transaction handling: a nested commit is *not* a durability point
 (its effects become permanent only through its committed top-level
@@ -29,28 +33,31 @@ inside a live sphere appends *compensation* delta records — the inverses
 the in-memory undo replay applies — so replaying a committed sphere's
 records front-to-back reproduces exactly the state the sphere committed,
 aborted subtransactions included (the ARIES CLR idea, flattened to redo).
+
+On disk the log is a stream of ``wal-<index:08d>.seg`` binary segments
+in ``data_dir``; a pre-refactor single-file ``wal.jsonl`` log (canonical
+JSON lines with an embedded checksum) is still read, ordered before the
+segments, by the storage layer's compatibility scanner.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import threading
-import time as _time
-import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.core import tracing
-from repro.obs.metrics import HOT_PATH_SAMPLE, MetricsRegistry
+from repro.obs.metrics import MetricsRegistry
 from repro.recovery.serialize import encode_delta
+from repro.storage import SegmentWriter, read_stream, scan_segment, segment_files
 from repro.txn.undo import DeltaUndo
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.objstore.store import Delta
     from repro.txn.transaction import Transaction
 
+#: pre-refactor single-file log, still readable (ordered first)
 WAL_FILENAME = "wal.jsonl"
+WAL_PREFIX = "wal"
 
 # Record types.
 TXN_BEGIN = "begin"
@@ -61,40 +68,26 @@ RULE_CREATE = "rule-create"
 RULE_DROP = "rule-drop"
 
 
-def _record_crc(record: Dict[str, Any]) -> int:
-    payload = json.dumps(
-        {key: record[key] for key in ("lsn", "type", "txn", "sphere", "data")},
-        sort_keys=True, separators=(",", ":"))
-    return zlib.crc32(payload.encode("utf-8"))
+def read_wal_records(source: Any) -> Tuple[List[Dict[str, Any]], int]:
+    """Read the valid prefix of a WAL from a data directory (or, for
+    compatibility, a single log file).
 
-
-def read_wal_records(path: Path) -> Tuple[List[Dict[str, Any]], int]:
-    """Read the valid prefix of a WAL file.
-
-    Returns ``(records, discarded)`` where ``discarded`` counts the lines
-    dropped after the first malformed / CRC-failing / out-of-order record
-    (a torn tail: everything past the first bad record is untrusted).
+    Returns ``(records, discarded)`` where ``discarded`` counts the
+    trailing lines/bytes dropped after the first malformed /
+    checksum-failing / out-of-order record (a torn tail: everything past
+    the first bad record is untrusted).
     """
-    if not path.exists():
-        return [], 0
-    lines = path.read_text(encoding="utf-8").splitlines()
-    records: List[Dict[str, Any]] = []
-    last_lsn = 0
-    for index, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-            crc = record["crc"]
-            lsn = record["lsn"]
-        except (ValueError, KeyError, TypeError):
-            return records, len(lines) - index
-        if _record_crc(record) != crc or lsn <= last_lsn:
-            return records, len(lines) - index
-        last_lsn = lsn
-        records.append(record)
-    return records, 0
+    source = Path(source)
+    if source.is_file() or source.suffix:
+        return scan_segment(source, seq_field="lsn")
+    return read_stream(source, WAL_PREFIX, seq_field="lsn",
+                       legacy=WAL_FILENAME)
+
+
+def wal_files(data_dir: Any) -> List[Path]:
+    """Existing WAL files under ``data_dir``, oldest first (the legacy
+    single-file log, when present, precedes every numbered segment)."""
+    return segment_files(data_dir, WAL_PREFIX, legacy=WAL_FILENAME)
 
 
 class WriteAheadLog:
@@ -102,39 +95,46 @@ class WriteAheadLog:
 
     ``fsync=True`` forces the OS buffers to stable storage at every
     top-level commit (the §6.3 durability point); ``fsync=False`` still
-    flushes every record to the OS (surviving a process crash, not a power
-    failure) — the mode the overhead benchmark calls plain "WAL".
+    pushes every committed prefix to the OS (surviving a process crash,
+    not a power failure) — the mode the overhead benchmark calls plain
+    "WAL".  ``fsync_interval_ms`` opts into a bounded durability window
+    instead: commits only flush, and a background thread fsyncs every
+    N milliseconds.
     """
 
     def __init__(self, data_dir: Any, *, fsync: bool = True,
+                 fsync_interval_ms: Optional[int] = None,
                  tracer: Optional[tracing.Tracer] = None,
                  start_lsn: int = 0,
                  metrics: Optional[MetricsRegistry] = None) -> None:
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
-        self.path = self.data_dir / WAL_FILENAME
-        self.fsync_on_commit = fsync
+        self.fsync_on_commit = fsync and fsync_interval_ms is None
         self.failed = False
         self._tracer = tracer or tracing.Tracer()
-        self._metrics = metrics or MetricsRegistry(enabled=False)
-        #: append latency is sampled (hot: one record per data operation);
-        #: the fsync histogram is exact — forces are rare, millisecond-scale
-        #: commit points whose percentiles recovery tuning cares about
-        self._append_seconds = self._metrics.histogram(
-            "wal_append_seconds", sample=HOT_PATH_SAMPLE)
-        self._fsync_seconds = self._metrics.histogram("wal_fsync_seconds")
-        self._lock = threading.RLock()
-        self.stats = {"records": 0, "fsyncs": 0, "commits_forced": 0,
-                      "append_failures": 0}
-        existing, _ = read_wal_records(self.path)
-        self._lsn = max(start_lsn, existing[-1]["lsn"] if existing else 0)
-        self._file = open(self.path, "a", encoding="utf-8")
+        self._writer = SegmentWriter(
+            self.data_dir, WAL_PREFIX, seq_field="lsn",
+            fsync=fsync, fsync_interval_ms=fsync_interval_ms,
+            start_seq=start_lsn, legacy_filename=WAL_FILENAME,
+            metrics=metrics, metric_prefix="wal", tracer=self._tracer)
+        self._stats = {"commits_forced": 0, "append_failures": 0}
+
+    @property
+    def path(self) -> Path:
+        """Path of the segment currently being appended to."""
+        return self._writer.segment_path
 
     @property
     def last_lsn(self) -> int:
         """LSN of the most recently appended (or pre-existing) record."""
-        with self._lock:
-            return self._lsn
+        return self._writer.last_seq
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """WAL counters merged with the underlying writer's."""
+        merged = dict(self._writer.stats)
+        merged.update(self._stats)
+        return merged
 
     # ------------------------------------------------------------- append
 
@@ -142,26 +142,12 @@ class WriteAheadLog:
                txn_id: Optional[str] = None, sphere: Optional[str] = None,
                force: bool = False) -> int:
         """Append one record; returns its LSN.  ``force`` additionally
-        fsyncs (when the log is configured to fsync at all)."""
-        with self._lock:
-            timed = self._append_seconds.should_sample()
-            start = _time.perf_counter() if timed else 0.0
-            self._lsn += 1
-            record = {"lsn": self._lsn, "type": rtype, "txn": txn_id,
-                      "sphere": sphere, "data": data or {}}
-            record["crc"] = _record_crc(record)
-            self._file.write(json.dumps(record, sort_keys=True,
-                                        separators=(",", ":")) + "\n")
-            self._file.flush()
-            self.stats["records"] += 1
-            self._tracer.bump("wal_append")
-            if timed:
-                # Append cost proper: the commit-point force is accounted
-                # separately (wal_fsync_seconds).
-                self._append_seconds.observe(_time.perf_counter() - start)
-            if force:
-                self.force()
-            return self._lsn
+        waits for durability (group-committed when the log fsyncs)."""
+        lsn = self._writer.append({"type": rtype, "txn": txn_id,
+                                   "sphere": sphere, "data": data or {}})
+        if force:
+            self._writer.sync(lsn)
+        return lsn
 
     def append_safe(self, rtype: str, data: Optional[Dict[str, Any]] = None, *,
                     txn_id: Optional[str] = None,
@@ -178,22 +164,13 @@ class WriteAheadLog:
             return True
         except Exception:
             self.failed = True
-            self.stats["append_failures"] += 1
+            self._stats["append_failures"] += 1
             self._tracer.bump("wal_append_failed")
             return False
 
     def force(self) -> None:
         """Force buffered records to stable storage (fsync when enabled)."""
-        with self._lock:
-            self._file.flush()
-            if self.fsync_on_commit:
-                start = (_time.perf_counter()
-                         if self._metrics.enabled else 0.0)
-                os.fsync(self._file.fileno())
-                self.stats["fsyncs"] += 1
-                self._tracer.bump("wal_fsync")
-                if self._metrics.enabled:
-                    self._fsync_seconds.observe(_time.perf_counter() - start)
+        self._writer.sync()
 
     # ---------------------------------------------------- domain appenders
 
@@ -206,13 +183,15 @@ class WriteAheadLog:
 
     def log_commit(self, txn: "Transaction") -> None:
         """Record a commit; for a top-level transaction this is the §6.3
-        durability point — the record is forced before the call returns."""
+        durability point — the record is durable before the call returns
+        (one group-commit fsync covers every concurrently parked
+        committer)."""
         top = txn.parent is None
         self.append(TXN_COMMIT, {"top": top},
                     txn_id=txn.txn_id, sphere=txn.top_level().txn_id,
                     force=top)
         if top:
-            self.stats["commits_forced"] += 1
+            self._stats["commits_forced"] += 1
 
     def log_abort(self, txn: "Transaction") -> None:
         """Record an abort, preceded — for nested transactions inside a
@@ -256,16 +235,8 @@ class WriteAheadLog:
         reflects even if a crash lands between checkpoint write and
         truncation.
         """
-        with self._lock:
-            self._file.close()
-            self._file = open(self.path, "w", encoding="utf-8")
-            self._file.flush()
-            if self.fsync_on_commit:
-                os.fsync(self._file.fileno())
+        self._writer.reset()
 
     def close(self) -> None:
-        """Flush and close the log file."""
-        with self._lock:
-            if not self._file.closed:
-                self._file.flush()
-                self._file.close()
+        """Flush and close the log."""
+        self._writer.close()

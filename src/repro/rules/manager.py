@@ -790,8 +790,10 @@ class RuleManager:
             firing.satisfied = outcome.satisfied
             if self.recorder is not None:
                 # Response record (bypasses suppression): the journalled
-                # outcome replay diffs its own evaluations against.
-                self.recorder.record_firing(firing)
+                # outcome replay diffs its own evaluations against.  The
+                # condition subtransaction's top level is the sphere the
+                # firing buffers on when it is the triggering one.
+                self.recorder.record_firing(firing, ctxn.top_level())
             if fspan is not None:
                 fspan.tags["satisfied"] = outcome.satisfied
             return firing, outcome

@@ -441,7 +441,7 @@ def replay(data_dir: Any, rules: RuleSource = None, *,
     report = DivergenceReport()
     if dropped:
         report.notes.append(
-            "journal: %d torn/unreadable trailing lines ignored" % dropped)
+            "journal: %d torn/unreadable trailing units ignored" % dropped)
     if until is not None:
         records = [r for r in records if r["seq"] <= until]
         if store_diff:

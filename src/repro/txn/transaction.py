@@ -72,6 +72,11 @@ class Transaction:
         #: deferred rule firings: list of (rule, signal, results) whose
         #: *action* execution was deferred to this transaction's commit
         self.deferred_actions: List[Any] = []
+        #: flight-recorder coalescing buffer for a journalled top-level
+        #: sphere (set by the recorder at begin, detached at its
+        #: commit/abort intent).  Lives on the transaction because the
+        #: sphere is thread-confined: entries append without any lock.
+        self.flight_tail: Optional[Dict[str, Any]] = None
         #: callbacks to run after a successful (top-level-effective) commit
         self.on_commit: List[Callable[["Transaction"], None]] = []
         #: callbacks to run after abort

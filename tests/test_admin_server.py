@@ -48,6 +48,7 @@ from repro.obs.watchdog import (
 from repro.rules.coupling import DEFERRED, IMMEDIATE
 from repro.rules.firing import FiringLog, RuleFiring
 from repro.rules.manager import RuleManagerConfig
+from repro.storage.framing import scan_frames
 from repro.tools import top as top_tool
 
 
@@ -209,9 +210,14 @@ class TestAdminServer:
             status, headers, body = _get(server.url + "/flight?download=1")
             assert status == 200
             assert "attachment" in headers["Content-Disposition"]
-            lines = [line for line in body.decode("utf-8").splitlines()
-                     if line.strip()]
-            assert len(lines) == payload["stats"]["records"]
+            assert headers["Content-Type"] == "application/octet-stream"
+            # The live segment is binary frames; boundary records flush
+            # the buffered prefix, so the download holds at least the
+            # commit intents (a coalesced tail may still be buffered).
+            records, discarded = scan_frames(body, "seq", 0)
+            assert discarded == 0
+            assert 0 < len(records) <= payload["stats"]["records"]
+            assert records[-1]["seq"] <= payload["stats"]["last_seq"]
             status, _, body = _get(server.url + "/flight?last=zero")
             assert status == 400
         finally:

@@ -10,7 +10,6 @@ the correct first-diverging sequence number.
 
 from __future__ import annotations
 
-import json
 import threading
 
 import pytest
@@ -24,6 +23,7 @@ from repro.objstore.store import UPDATE, Delta
 from repro.rules.actions import CallStep
 from repro.rules.coupling import DEFERRED, IMMEDIATE, SEPARATE
 from repro.saa.assistant import SecuritiesAssistant
+from repro.storage import FRAME_HEADER_SIZE, encode_frame
 from repro.saa.programs import STOCK_CLASS, TRADE_EXECUTED_EVENT
 from repro.tools.replay import ReplayError, replay
 from repro.txn.transaction import Transaction
@@ -291,19 +291,28 @@ class TestJournal:
             rec.record("external", {"n": i})
         rec.close()
         segment = flightrec.journal_segments(tmp_path)[-1]
-        lines = segment.read_text(encoding="utf-8").splitlines()
-        middle = json.loads(lines[2])
-        middle["data"]["n"] = 777  # CRC now wrong
-        lines[2] = json.dumps(middle, sort_keys=True,
-                              separators=(",", ":"))
-        segment.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        records, _ = flightrec.read_segment(segment)
+        frames = b""
+        for record in records:
+            frame = bytearray(encode_frame(record))
+            if record["seq"] == 3:
+                # Flip a payload byte: the frame CRC no longer matches.
+                middle = (FRAME_HEADER_SIZE
+                          + (len(frame) - FRAME_HEADER_SIZE) // 2)
+                frame[middle] ^= 0xFF
+            frames += bytes(frame)
+        segment.write_bytes(frames)
         records, discarded = flightrec.read_journal(tmp_path)
         assert [r["seq"] for r in records] == [1, 2]
-        assert discarded == 3
+        assert discarded > 0
 
     def test_rotation_and_retention(self, tmp_path):
+        # Strict mode: per-record frames rotate precisely at the size
+        # bound (the bounded-window default drains whole batch frames,
+        # so its rotation granularity is one tick's batch).
         rec = flightrec.FlightRecorder(tmp_path, max_segment_bytes=200,
-                                       max_segments=3)
+                                       max_segments=3,
+                                       fsync_interval_ms=None)
         for i in range(50):
             rec.record("external", {"n": i, "pad": "x" * 40})
         rec.close()
@@ -336,12 +345,14 @@ class TestJournal:
         db.define_class(ClassDef("A", attributes(("v", "int"))))
         with db.transaction() as txn:
             db.create("A", {"v": 1}, txn)
-        section = db.stats()["flightrec"]
-        assert section["records"] > 0
-        assert section["last_seq"] == section["records"]
+        section = db.stats()["storage"]
+        assert section["journal_records"] > 0
+        assert section["journal_last_seq"] == section["journal_records"]
+        assert section["wal_records"] > 0
         text = db.prometheus_metrics()
         db.close()
-        assert "flightrec_records" in text
+        assert "storage_journal_records" in text
+        assert "storage_wal_records" in text
 
     def test_recorder_requires_data_dir(self):
         with pytest.raises(ValueError):
