@@ -78,7 +78,10 @@ class HiPAC:
                  slow_threshold: float = 0.050,
                  firing_log_capacity: Optional[int] = None,
                  watchdog: Optional[WatchdogConfig] = None,
-                 flight_recorder: bool = False) -> None:
+                 flight_recorder: bool = False,
+                 provenance: Optional[bool] = None,
+                 provenance_per_key: int = 8,
+                 provenance_capacity: int = 50_000) -> None:
         self.tracer = tracing.Tracer()
         self.clock = clock or VirtualClock()
         #: observability levels:
@@ -188,6 +191,25 @@ class HiPAC:
             self.rule_manager.recorder = recorder
             self.external_detector.recorder = recorder
             self.temporal_detector.recorder = recorder
+        #: causal provenance store (see :mod:`repro.obs.provenance`):
+        #: tags every attribute write with its causal envelope and
+        #: answers :meth:`why`.  ``provenance=None`` follows the
+        #: observability switch (on whenever metrics are on); pass
+        #: ``True``/``False`` to force.  Attached after bootstrap, like
+        #: the flight recorder, so the system-class transaction is never
+        #: captured.
+        self.provenance: Optional[Any] = None
+        prov_on = (bool(observability) if provenance is None
+                   else bool(provenance))
+        if prov_on:
+            from repro.obs.provenance import ProvenanceStore
+            prov = ProvenanceStore(per_key=provenance_per_key,
+                                   capacity=provenance_capacity,
+                                   metrics=self.metrics)
+            self.provenance = prov
+            self.object_manager.provenance = prov
+            self.transaction_manager.provenance = prov
+            self.rule_manager.provenance = prov
         #: durability wiring (None / "wal"); see _enable_durability
         self.wal: Optional[Any] = None
         self.checkpointer: Optional[Any] = None
@@ -473,6 +495,34 @@ class HiPAC:
         from repro.tools.explain import explain
         return explain(self.rule_manager.firings, rule_name, last)
 
+    def why(self, oid: Union[OID, str], attr: Optional[str] = None, *,
+            depth: int = 10) -> Any:
+        """Walk the causal chain behind the current value of ``oid.attr``.
+
+        Answers "why is this object in this state?": hop 0 is the write
+        that produced the value, each further hop follows the writing
+        rule firing to its triggering event and the write behind *that*,
+        ending at the system boundary — an application write or an
+        external/temporal stimulus.  When the flight recorder is on,
+        every hop carries the journal seq that
+        ``python -m repro.tools.replay --until SEQ`` needs to re-execute
+        the world up to that cause (``SEQ - 1`` stops just before it).
+
+        ``oid`` accepts an :class:`OID` or its ``"Class#N"`` string form;
+        ``attr=None`` starts from the newest write to any attribute.
+        Returns a :class:`~repro.obs.provenance.WhyChain`; render it with
+        :func:`repro.tools.explain.explain_state`.  Raises
+        :class:`ValueError` when provenance is off.
+        """
+        if self.provenance is None:
+            raise ValueError(
+                "provenance is off: construct with provenance=True "
+                "(or leave observability on)")
+        if isinstance(oid, str):
+            from repro.obs.provenance import parse_oid
+            oid = parse_oid(oid)
+        return self.provenance.why(oid, attr, depth=depth)
+
     def export_trace(self, path: Optional[Any] = None) -> Dict[str, Any]:
         """Chrome ``trace_event`` JSON of all retained span trees.
 
@@ -493,8 +543,9 @@ class HiPAC:
         status JSON; 503 when failing), ``/stats`` (the :meth:`stats`
         snapshot plus derived gauges), ``/profile`` (rule-cascade
         profiler), ``/flight`` (flight-recorder journal stats and recent
-        records; ``?download=1`` streams the live segment), and
-        ``/trace`` (Chrome trace download under
+        records; ``?download=1`` streams the live segment),
+        ``/why`` (causal provenance chain for ``?oid=Class%23N&attr=``;
+        see :meth:`why`), and ``/trace`` (Chrome trace download under
         ``observability="trace"``) on a daemon thread.  ``port=0`` binds
         an ephemeral port; read the bound address from the returned
         server's ``url``.  Idempotent: a second call returns the running
@@ -635,6 +686,11 @@ class HiPAC:
             journal_stats.pop("batched_records", None)
         for key, value in journal_stats.items():
             storage["journal_%s" % key] = value
+        provenance = dict.fromkeys(
+            ("published", "pruned", "evicted", "why_queries",
+             "live_entries", "approx_bytes", "per_key", "capacity"), 0)
+        if self.provenance is not None:
+            provenance.update(self.provenance.stats_snapshot())
         return {
             "rules": dict(self.rule_manager.stats),
             "events": events,
@@ -655,4 +711,5 @@ class HiPAC:
                 "firing_log_dropped": self.rule_manager.firings.dropped,
             },
             "storage": storage,
+            "provenance": provenance,
         }

@@ -86,7 +86,11 @@ class ExternalEventDetector(EventDetector):
                              timestamp=timestamp)
         if self.recorder is not None:
             # Journalled before delivery (intent discipline): a torn tail
-            # is a signal whose rule processing never ran.
-            self.recorder.record_signal(signal)
+            # is a signal whose rule processing never ran.  The record's
+            # seq rides on the signal so provenance can address every
+            # downstream write to this stimulus (replay --until seq).
+            seq = self.recorder.record_signal(signal)
+            if seq is not None:
+                signal._journal_seq = seq
         self.report(spec, signal)
         return signal

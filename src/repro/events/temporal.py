@@ -157,7 +157,10 @@ class TemporalEventDetector(EventDetector):
             if self.recorder is not None:
                 # Journalled before delivery; the spec repr lets replay
                 # resolve the registered spec to report against.
-                self.recorder.record_signal(signal, spec_repr=repr(spec))
+                seq = self.recorder.record_signal(signal, spec_repr=repr(spec))
+                if seq is not None:
+                    # Provenance addresses downstream writes by this seq.
+                    signal._journal_seq = seq
             # Reporting happens outside the mutex: rule firings triggered by
             # a temporal event may define further temporal events.
             self.report(spec, signal)

@@ -96,6 +96,10 @@ class ObjectManager:
         #: application operations are journalled as replayable stimuli;
         #: rule-cascade operations are suppressed (replay re-derives them).
         self.recorder: Optional[Any] = None
+        #: causal provenance store; None unless the facade enables it.
+        #: Every instance-level delta is tagged with its causal envelope
+        #: (rule firing or application) on the writing sphere's tail.
+        self.provenance: Optional[Any] = None
         self.stats = {"operations": 0, "queries": 0, "reads": 0,
                       "signals_skipped": 0}
 
@@ -328,6 +332,11 @@ class ObjectManager:
         # rest of the transaction.
         if self.wal is not None:
             self.wal.log_delta(delta, txn)
+        if self.provenance is not None:
+            # Buffered on the sphere, not yet queryable: publish happens
+            # at top-level commit, abort prunes (so a WAL failure above
+            # or any later rollback never leaks phantom provenance).
+            self.provenance.note_delta(delta, txn, user)
         for listener in self._delta_listeners:
             listener(txn, delta)
         # Dispatch-index pre-check: when no programmed spec can match this

@@ -123,6 +123,12 @@ HELP_TEXTS: Dict[str, str] = {
     "journal_append_seconds":
         "Flight-journal record append latency (sampled)",
     "journal_fsync_seconds": "Flight-journal background fsync latency",
+    "provenance_entries": "Live entries in the causal provenance store",
+    "provenance_bytes":
+        "Approximate memory held by the causal provenance store",
+    "provenance_evictions_total":
+        "Provenance entries evicted by the per-key ring or the global cap",
+    "provenance_why_seconds": "why() causal chain walk latency",
 }
 
 

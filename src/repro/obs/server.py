@@ -88,6 +88,7 @@ class _AdminHandler(BaseHTTPRequestHandler):
                 "/stats": self._stats,
                 "/profile": self._profile,
                 "/flight": self._flight,
+                "/why": self._why,
                 "/trace": self._trace,
             }.get(parsed.path)
             if route is None:
@@ -157,6 +158,27 @@ class _AdminHandler(BaseHTTPRequestHandler):
             "recent": recorder.recent(last),
         })
 
+    def _why(self, db: Any, query: Dict[str, Any]) -> None:
+        if getattr(db, "provenance", None) is None:
+            self._send(409, "text/plain; charset=utf-8",
+                       "provenance is off; construct the instance with"
+                       " provenance=True (or leave observability on)")
+            return
+        raw = query.get("oid", [""])[0]
+        if not raw:
+            raise _BadParam(
+                "query parameter 'oid' is required (Class#N; URL-encode"
+                " '#' as %23, or use the Class:N form)")
+        from repro.obs.provenance import parse_oid
+        try:
+            oid = parse_oid(raw)
+        except ValueError as exc:
+            raise _BadParam(str(exc))
+        attr = query.get("attr", [""])[0] or None
+        depth = _int_param(query, "depth", 10)
+        chain = db.why(oid, attr, depth=max(1, depth))
+        self._send_json(200, chain.as_dict())
+
     def _trace(self, db: Any, query: Dict[str, Any]) -> None:
         if not db.spans.enabled:
             self._send(409, "text/plain; charset=utf-8",
@@ -199,6 +221,8 @@ _INDEX_TEXT = """hipac admin endpoint
   /profile   per-rule cost attribution (?top=N, ?format=text)
   /flight    flight-recorder journal stats + recent records (?last=N,
              ?download=1 for the live segment; requires flight_recorder=True)
+  /why       causal provenance chain JSON (?oid=Class%23N or Class:N,
+             ?attr=, ?depth=N; requires provenance on)
   /trace     Chrome trace_event JSON (requires observability="trace")
 """
 

@@ -11,11 +11,16 @@ satisfied.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, List, Optional
+
+#: process-wide firing ids; monotonic so provenance envelopes can name a
+#: specific firing even after the firing log's ring has evicted it
+_FIRING_IDS = itertools.count(1)
 
 
 @dataclass
@@ -47,6 +52,10 @@ class RuleFiring:
     #: must align records from different runs on a common clock
     wall_time: float = field(default_factory=time.time, compare=False,
                              repr=False)
+    #: process-wide monotonic firing id (provenance envelopes reference
+    #: firings by id; excluded from equality like the other metadata)
+    firing_id: int = field(default_factory=_FIRING_IDS.__next__,
+                           compare=False, repr=False)
 
 
 class FiringLog:

@@ -177,6 +177,11 @@ class RuleManager:
         #: completed condition evaluation is journalled as a ``firing``
         #: response record for replay to diff against.
         self.recorder: Optional[Any] = None
+        #: causal provenance store; None unless the facade enables it.
+        #: Every rule-action execution runs inside a causal scope so the
+        #: writes it performs are attributed to the firing and its
+        #: triggering event.
+        self.provenance: Optional[Any] = None
         self._rules: Dict[str, Rule] = {}
         self._rules_by_oid: Dict[OID, Rule] = {}
         self._event_map: Dict[EventSpec, Set[str]] = {}
@@ -264,11 +269,16 @@ class RuleManager:
         parameterized conditions.
         """
         rule = self.get_rule(name)
+        seq = None
         if self.recorder is not None:
-            self.recorder.record_fire(name, args, txn)
+            seq = self.recorder.record_fire(name, args, txn)
         signal = EventSignal(kind="external", name="fire:%s" % name,
                              args=dict(args or {}), txn=txn,
                              timestamp=self._clock.now())
+        if seq is not None:
+            # Manual fires are journalled stimuli: address provenance of
+            # the firing's writes to the fire record.
+            signal._journal_seq = seq
         with self._suppression():
             self._process_firings([(rule, signal)], manual=True)
 
@@ -832,7 +842,7 @@ class RuleManager:
                 bindings=outcome.bindings, results=outcome.results,
                 applications=self.applications, rule=rule,
                 signal_external=self._signal_external)
-            rule.action.run(ctx)
+            self._run_action(rule, firing, signal, ctx)
             self._txns.commit_transaction(atxn, source=tracing.RULE_MANAGER)
             firing.executed = True
             self.stats["actions_executed"] += 1
@@ -850,6 +860,20 @@ class RuleManager:
                                         coupling=rule.ca_coupling,
                                         txn=atxn.txn_id)
             self._spans.finish_span(aspan)
+
+    def _run_action(self, rule: Rule, firing: RuleFiring,
+                    signal: EventSignal, ctx: ActionContext) -> None:
+        """Run the action body inside a causal provenance scope.
+
+        With provenance on, every write the action performs is tagged
+        with this firing and its triggering event; cascaded firings push
+        nested scopes, so attribution always names the *innermost* cause.
+        """
+        if self.provenance is None:
+            rule.action.run(ctx)
+            return
+        with self.provenance.firing_scope(rule, firing, signal):
+            rule.action.run(ctx)
 
     def _signal_external(self, name: str, args: Dict[str, Any],
                          txn: Optional[Transaction]) -> Any:
@@ -978,7 +1002,7 @@ class RuleManager:
                 bindings=outcome.bindings, results=outcome.results,
                 applications=self.applications, rule=rule,
                 signal_external=self._signal_external)
-            rule.action.run(ctx)
+            self._run_action(rule, firing, signal, ctx)
             self._txns.commit_transaction(atxn, source=tracing.RULE_MANAGER)
             firing.executed = True
             self.stats["actions_executed"] += 1

@@ -12,6 +12,7 @@ from repro.tools.analysis import (
 from repro.tools.explain import (
     explain,
     explain_firing,
+    explain_state,
     render_transaction_tree,
     why_not,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "effect_triggers",
     "explain",
     "explain_firing",
+    "explain_state",
     "render_transaction_tree",
     "why_not",
 ]

@@ -26,8 +26,11 @@ def render_transaction_tree(txn: Transaction, indent: str = "") -> str:
 
 
 def _wall_stamp(wall_time: float) -> str:
-    return _time.strftime("%H:%M:%S", _time.localtime(wall_time)) \
-        + ".%03d" % (int(wall_time * 1000) % 1000)
+    # UTC with a date component: dumps from different hosts/timezones (live
+    # system vs. replay) must align on one clock, and same-looking times a
+    # day apart must not.
+    return _time.strftime("%Y-%m-%dT%H:%M:%S", _time.gmtime(wall_time)) \
+        + ".%03dZ" % (int(wall_time * 1000) % 1000)
 
 
 def explain_firing(firing: RuleFiring) -> str:
@@ -80,6 +83,60 @@ def explain(log: FiringLog, rule_name: Optional[str] = None,
         lines.append("no firings recorded")
         return "\n".join(lines)
     lines.extend(explain_firing(firing) for firing in firings)
+    return "\n".join(lines)
+
+
+def _explain_hop(hop: dict) -> str:
+    where = hop["oid"] + ("." + hop["attr"] if hop["attr"] else "")
+    if hop["op"] == "create":
+        change = "create %s = %r" % (where, hop["new"])
+    elif hop["op"] == "delete":
+        change = "delete %s" % where
+    else:
+        change = "update %s %r -> %r" % (where, hop["old"], hop["new"])
+    cause = hop["cause"]
+    if cause["kind"] == "application":
+        why = "by application (user %r)" % cause["user"]
+    else:
+        why = ("by rule %r firing %s, triggered by %s"
+               % (cause["rule"], cause["firing_id"], cause["event"]))
+    line = "[%s] #%d %s in %s (top %s) %s" % (
+        _wall_stamp(hop["wall_time"]), hop["seq"], change,
+        hop["txn"], hop["top_txn"], why)
+    if hop["journal_seq"] is not None:
+        line += " [journal seq %d]" % hop["journal_seq"]
+    return line
+
+
+def explain_state(db, oid, attr: Optional[str] = None,
+                  depth: int = 10) -> str:
+    """Render the causal chain behind the current value of ``oid.attr``.
+
+    One line per hop, newest first: the write that produced the value,
+    then the write that triggered the firing behind it, and so on back to
+    the external stimulus.  When the flight recorder is on each hop names
+    the journal seq to feed ``python -m repro.tools.replay --until`` — the
+    seq itself re-executes the world up to (and including) that cause,
+    seq - 1 stops just before it.
+    """
+    chain = db.why(oid, attr, depth=depth).as_dict()
+    target = chain["oid"] + ("." + chain["attr"] if chain["attr"] else "")
+    lines = ["why %s:" % target]
+    if not chain["hops"]:
+        lines.append("  no provenance recorded (never written while"
+                     " provenance was on, or already evicted)")
+        return "\n".join(lines)
+    lines.extend("  " + _explain_hop(hop) for hop in chain["hops"])
+    if chain["truncated"]:
+        lines.append("  ... chain cut by the depth limit or the bounded"
+                     " store; earlier causes are unavailable")
+    if chain["stimulus"]:
+        lines.append("  stimulus: %s" % chain["stimulus"])
+        seq = chain["hops"][-1]["journal_seq"]
+        if seq is not None:
+            lines.append("  replay: python -m repro.tools.replay --until %d"
+                         " re-executes up to this cause (--until %d stops"
+                         " just before it)" % (seq, seq - 1))
     return "\n".join(lines)
 
 

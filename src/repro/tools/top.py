@@ -32,6 +32,8 @@ RATE_ROWS: Tuple[Tuple[str, str, str], ...] = (
     ("txn aborts/s", "transactions", "aborted"),
     ("db events/s", "events", "database_reported"),
     ("lock waits/s", "locks", "waited"),
+    ("prov published/s", "provenance", "published"),
+    ("why queries/s", "provenance", "why_queries"),
 )
 
 
@@ -77,6 +79,12 @@ def render(current: Dict[str, Any], rate_rows: List[Tuple[str, float]],
     lines.append("live txns %-6d deferred queue %-6d"
                  % (derived.get("live_transactions", 0),
                     derived.get("deferred_queue_depth", 0)))
+    provenance = current.get("stats", {}).get("provenance")
+    if provenance:
+        lines.append("prov entries %-6d evicted %-8d ~%s"
+                     % (provenance.get("live_entries", 0),
+                        provenance.get("evicted", 0),
+                        format_bytes(provenance.get("approx_bytes", 0))))
     if rate_rows:
         width = max(len(label) for label, _ in rate_rows)
         for label, rate in rate_rows:
@@ -92,6 +100,15 @@ def render(current: Dict[str, Any], rate_rows: List[Tuple[str, float]],
                     alert.get("severity", "?"), alert.get("kind", "?"),
                     alert.get("message", "")))
     return "\n".join(lines)
+
+
+def format_bytes(count: float) -> str:
+    count = max(0.0, float(count))
+    for unit in ("B", "KiB", "MiB"):
+        if count < 1024:
+            return "%.0f%s" % (count, unit)
+        count /= 1024
+    return "%.1fGiB" % count
 
 
 def format_duration(seconds: float) -> str:

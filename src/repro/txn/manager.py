@@ -72,6 +72,9 @@ class TransactionManager:
         #: transaction boundaries are journalled as replayable stimuli
         #: (internal and rule-cascade transactions are replay *output*).
         self.recorder: Optional[Any] = None
+        #: causal provenance store; None unless the facade enables it.
+        #: Published on top-level commit, pruned on abort.
+        self.provenance: Optional[Any] = None
         self._mutex = threading.Lock()
         self._live: Dict[str, Transaction] = {}
         self.stats = {"created": 0, "committed": 0, "aborted": 0,
@@ -146,7 +149,9 @@ class TransactionManager:
         # deferred rule work runs inside the signal below, and replay
         # re-derives it by re-issuing this commit.
         if self.recorder is not None and not txn.internal:
-            self.recorder.record_txn_commit(txn)
+            # Keep the coalesced record's seq: provenance entries from
+            # this sphere use it as their replay address.
+            txn.flight_seq = self.recorder.record_txn_commit(txn)
         try:
             if self.event_sink is not None and self.signal_transaction_events:
                 self._signal("commit", txn)
@@ -190,6 +195,10 @@ class TransactionManager:
             self.stats["committed"] += 1
             self._live.pop(txn.txn_id, None)
         if txn.parent is None:
+            # The sphere is durable and visible: publish its buffered
+            # provenance before hooks (a hook's why() sees this commit).
+            if self.provenance is not None:
+                self.provenance.publish(txn)
             for hook in txn.on_commit:
                 hook(txn)
             txn.on_commit = []
@@ -220,6 +229,10 @@ class TransactionManager:
             )
         if self.recorder is not None and not txn.internal:
             self.recorder.record_txn_abort(txn)
+        if self.provenance is not None:
+            # Drop (top-level) or filter (nested) the sphere's buffered
+            # provenance: rolled-back writes must never become queryable.
+            self.provenance.on_abort(txn)
         # Abort any still-active descendants first (deepest first).
         for child in txn.active_children():
             self.abort_transaction(child, source=tracing.TRANSACTION_MANAGER)

@@ -77,6 +77,14 @@ class Transaction:
         #: commit/abort intent).  Lives on the transaction because the
         #: sphere is thread-confined: entries append without any lock.
         self.flight_tail: Optional[Dict[str, Any]] = None
+        #: provenance coalescing buffer, same thread-confinement argument
+        #: as ``flight_tail``: entries buffered here until top-level
+        #: commit publishes them (abort prunes)
+        self.prov_tail: Optional[List[Any]] = None
+        #: journal seq of this sphere's coalesced flight record (set at
+        #: commit when the recorder is on; provenance entries without a
+        #: stimulus seq inherit it as their replay address)
+        self.flight_seq: Optional[int] = None
         #: callbacks to run after a successful (top-level-effective) commit
         self.on_commit: List[Callable[["Transaction"], None]] = []
         #: callbacks to run after abort

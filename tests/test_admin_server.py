@@ -293,6 +293,65 @@ class TestAdminServer:
         assert server.error_count == 0
         assert server.request_count >= 90
 
+    def test_stats_and_metrics_scrapes_under_wal_commit_load(self, tmp_path):
+        """The storage stats section stays scrapable while 8+ threads
+        commit under ``durability="wal"``: /stats parses with live WAL
+        counters and /metrics stays valid Prometheus text throughout."""
+        db = _db(durability="wal", data_dir=tmp_path)
+        server = db.serve_admin()
+        errors = []
+        stop = threading.Event()
+
+        def committer(worker):
+            while not stop.is_set():
+                try:
+                    with db.transaction() as txn:
+                        db.create("A", {"v": worker}, txn)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(("committer", exc))
+
+        def scraper(path, validate):
+            for _ in range(15):
+                try:
+                    status, _, body = _get(server.url + path)
+                    assert status == 200
+                    validate(body)
+                except Exception as exc:
+                    errors.append((path, exc))
+
+        def valid_stats(body):
+            payload = json.loads(body)
+            storage = payload["stats"]["storage"]
+            assert storage["wal_records"] >= 0
+            assert storage["wal_fsyncs"] >= 0
+            assert "provenance" in payload["stats"]
+
+        def valid_metrics(body):
+            samples = _parse_prometheus(body.decode("utf-8"))
+            assert any(name.startswith("hipac_") and "wal" in name
+                       for name, _ in samples)
+
+        committers = [threading.Thread(target=committer, args=(i,))
+                      for i in range(8)]
+        scrapers = [threading.Thread(target=scraper,
+                                     args=("/stats", valid_stats))
+                    for _ in range(2)]
+        scrapers += [threading.Thread(target=scraper,
+                                      args=("/metrics", valid_metrics))
+                     for _ in range(2)]
+        for thread in committers + scrapers:
+            thread.start()
+        for thread in scrapers:
+            thread.join()
+        stop.set()
+        for thread in committers:
+            thread.join()
+        committed = db.stats()["transactions"]["top_level_committed"]
+        db.close()
+        assert not errors, errors
+        assert committed > 0
+        assert server.error_count == 0
+
 
 # ================================================== cascade watchdog (accept)
 
