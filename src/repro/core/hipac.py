@@ -40,8 +40,10 @@ from repro.events.temporal import TemporalEventDetector
 from repro.obs import export as obs_export
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import RuleProfiler
+from repro.obs.slo import Objective, SLOMonitor
 from repro.obs.slowlog import SlowLog
 from repro.obs.spans import SpanRecorder
+from repro.obs.timeseries import TimeseriesRing, Window
 from repro.obs.watchdog import Watchdog, WatchdogConfig
 from repro.objstore.manager import ObjectManager
 from repro.objstore.objects import OID
@@ -81,7 +83,11 @@ class HiPAC:
                  flight_recorder: bool = False,
                  provenance: Optional[bool] = None,
                  provenance_per_key: int = 8,
-                 provenance_capacity: int = 50_000) -> None:
+                 provenance_capacity: int = 50_000,
+                 timeseries: Optional[bool] = None,
+                 timeseries_interval: float = 1.0,
+                 timeseries_capacity: int = 600,
+                 slos: Optional[List[Objective]] = None) -> None:
         self.tracer = tracing.Tracer()
         self.clock = clock or VirtualClock()
         #: observability levels:
@@ -112,6 +118,11 @@ class HiPAC:
         #: not an instrument to ablate.  Thresholds come from the
         #: :class:`~repro.obs.watchdog.WatchdogConfig` ``watchdog`` knob.
         self.watchdog = Watchdog(config=watchdog)
+        #: windowed telemetry + SLO monitor (created at the end of
+        #: __init__, after recovery replay, so startup work is never a
+        #: "window"); None until then and whenever the ticker is off.
+        self.timeseries: Optional[TimeseriesRing] = None
+        self.slo: Optional[SLOMonitor] = None
         config = config or RuleManagerConfig()
         if firing_log_capacity is not None:
             config.firing_log_capacity = firing_log_capacity
@@ -218,6 +229,27 @@ class HiPAC:
         self._enable_durability(durability, data_dir, wal_fsync,
                                 fsync_interval_ms, checkpoint_interval,
                                 rule_library)
+        #: windowed telemetry: a background ticker snapshots the registry
+        #: every ``timeseries_interval`` seconds into a bounded ring (see
+        #: :mod:`repro.obs.timeseries`), and the SLO monitor evaluates
+        #: its objectives on each window (:mod:`repro.obs.slo`).
+        #: ``timeseries=None`` follows the observability switch; the
+        #: ticker backs off while the instance is idle, so short-lived
+        #: instances (a test suite) cost a handful of wakeups.
+        #: ``slos`` overrides :func:`~repro.obs.slo.default_objectives`
+        #: (pass ``[]`` for windows without objectives).
+        ts_on = (bool(observability) if timeseries is None
+                 else bool(timeseries))
+        if ts_on:
+            ring = TimeseriesRing(self.metrics,
+                                  interval=timeseries_interval,
+                                  capacity=timeseries_capacity)
+            self.timeseries = ring
+            self.slo = SLOMonitor(ring, objectives=slos,
+                                  watchdog=self.watchdog,
+                                  metrics=self.metrics)
+            ring.add_callback(self._on_tick)
+            ring.start()
 
     def _bootstrap(self) -> None:
         """Create the ``HiPAC::Rule`` system class and program the Rule
@@ -285,15 +317,32 @@ class HiPAC:
         return self._recovery_report
 
     def close(self) -> None:
-        """Stop the admin server (if serving) and flush/close the WAL and
-        flight-recorder journal."""
+        """Stop the admin server (if serving) and the timeseries ticker,
+        and flush/close the WAL and flight-recorder journal."""
         if self._admin is not None:
             self._admin.close()
             self._admin = None
+        if self.timeseries is not None:
+            self.timeseries.stop()
         if self.flight_recorder is not None:
             self.flight_recorder.close()
         if self.wal is not None:
             self.wal.close()
+
+    def _on_tick(self, window: Window) -> None:
+        """Per-window callback from the timeseries ticker.
+
+        Drives the watchdog's pull-path detectors (so lock-wait and
+        standing-deferred-backlog alerts fire without an external scraper
+        attached) and the SLO burn-rate evaluation.
+        """
+        live = self.transaction_manager.live_transactions()
+        depth = sum(
+            len(txn.deferred_conditions) + len(txn.deferred_actions)
+            for txn in live)
+        self.watchdog.check(deferred_depth=depth)
+        if self.slo is not None:
+            self.slo.evaluate(now=window.t)
 
     # ------------------------------------------------------------- schema
 
@@ -544,6 +593,8 @@ class HiPAC:
         snapshot plus derived gauges), ``/profile`` (rule-cascade
         profiler), ``/flight`` (flight-recorder journal stats and recent
         records; ``?download=1`` streams the live segment),
+        ``/timeseries`` (windowed rates and percentiles from the
+        background ticker), ``/slo`` (objective states and burn rates),
         ``/why`` (causal provenance chain for ``?oid=Class%23N&attr=``;
         see :meth:`why`), and ``/trace`` (Chrome trace download under
         ``observability="trace"``) on a daemon thread.  ``port=0`` binds
@@ -574,6 +625,18 @@ class HiPAC:
             report["status"] = "failing"
         elif background_errors > 0 and report["status"] == "ok":
             report["status"] = "degraded"
+        if self.slo is not None:
+            from repro.obs.slo import BREACHED, BURNING
+            worst = self.slo.worst_state()
+            report["slo"] = {
+                "state": worst,
+                "objectives": {objective.name: objective.state
+                               for objective in self.slo.objectives},
+            }
+            # A burning/breached budget degrades health but never fails
+            # it — that level stays reserved for broken durability.
+            if worst in (BURNING, BREACHED) and report["status"] == "ok":
+                report["status"] = "degraded"
         report["wal_append_failures"] = wal_failures
         report["background_rule_errors"] = background_errors
         report["live_transactions"] = \
@@ -691,6 +754,16 @@ class HiPAC:
              "live_entries", "approx_bytes", "per_key", "capacity"), 0)
         if self.provenance is not None:
             provenance.update(self.provenance.stats_snapshot())
+        timeseries = dict.fromkeys(
+            ("ticks", "idle_ticks", "tick_errors", "callback_errors",
+             "windows", "capacity", "interval_ms"), 0)
+        if self.timeseries is not None:
+            timeseries.update(self.timeseries.stats)
+        slo = dict.fromkeys(
+            ("objectives", "evaluations", "breaches", "alerts",
+             "ok", "burning", "breached", "recovered"), 0)
+        if self.slo is not None:
+            slo.update(self.slo.summary())
         return {
             "rules": dict(self.rule_manager.stats),
             "events": events,
@@ -712,4 +785,6 @@ class HiPAC:
             },
             "storage": storage,
             "provenance": provenance,
+            "timeseries": timeseries,
+            "slo": slo,
         }

@@ -106,6 +106,8 @@ def write_chrome_trace(source: Any, path: Any) -> Dict[str, Any]:
 HELP_TEXTS: Dict[str, str] = {
     "rule_firings_total": "Rule firings by E-C and C-A coupling mode",
     "rule_action_seconds": "Rule action execution latency (sampled)",
+    "rule_firing_errors_total":
+        "Rule firings that errored (condition or action path)",
     "deferred_batch_size": "Deferred rule firings drained per commit round",
     "txn_commit_seconds":
         "Top-level commit latency including deferred rule processing",
@@ -129,6 +131,15 @@ HELP_TEXTS: Dict[str, str] = {
     "provenance_evictions_total":
         "Provenance entries evicted by the per-key ring or the global cap",
     "provenance_why_seconds": "why() causal chain walk latency",
+    "timeseries_ticks_total": "Timeseries ring snapshot ticks taken",
+    "timeseries_tick_seconds": "Timeseries ring snapshot tick latency",
+    "slo_burn_rate":
+        "Error-budget burn rate by objective and window (1.0 = on budget)",
+    "slo_state":
+        "SLO state by objective (0=ok 1=burning 2=breached 3=recovered)",
+    "slo_breaches_total": "SLO objectives entering the breached state",
+    "serving_latency_seconds":
+        "Loadgen per-stimulus latency from scheduled send time",
 }
 
 
@@ -239,16 +250,16 @@ def metrics_report(registry: MetricsRegistry,
     lines: List[str] = ["== metrics =="]
     histograms = [m for m in registry.instruments() if m.kind == "histogram"]
     if histograms:
-        lines.append("%-44s %9s %9s %9s %9s %9s" % (
-            "latency", "count", "mean", "p50", "p95", "p99"))
+        lines.append("%-44s %9s %9s %9s %9s %9s %9s" % (
+            "latency", "count", "mean", "p50", "p95", "p99", "p99.9"))
         for histogram in histograms:
             snap = histogram.snapshot()
             if snap["count"] == 0:
                 continue
-            lines.append("%-44s %9d %8.3fm %8.3fm %8.3fm %8.3fm" % (
+            lines.append("%-44s %9d %8.3fm %8.3fm %8.3fm %8.3fm %8.3fm" % (
                 format_name(histogram.name, histogram.labels), snap["count"],
                 snap["mean"] * 1e3, snap["p50"] * 1e3,
-                snap["p95"] * 1e3, snap["p99"] * 1e3))
+                snap["p95"] * 1e3, snap["p99"] * 1e3, snap["p999"] * 1e3))
     scalars = [m for m in registry.instruments()
                if m.kind in ("counter", "gauge") and m.value]
     if scalars:

@@ -162,6 +162,81 @@ class _HistogramShard:
         self.max = float("-inf")
 
 
+class HistogramState:
+    """A cheap immutable snapshot of a histogram's cumulative totals.
+
+    Captured by :meth:`Histogram.state` (one shard merge, a tuple copy —
+    no percentile math), subtracted by :meth:`Histogram.delta` to obtain
+    *windowed* distributions: the bucket counts between two snapshots are
+    exactly the observations recorded in that interval, so percentiles
+    computed from the difference describe the window alone, not
+    everything since boot.  This is what the timeseries ticker stores
+    per tick (:mod:`repro.obs.timeseries`).
+    """
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, counts: Tuple[int, ...], total: float,
+                 count: int) -> None:
+        self.counts = counts
+        self.sum = total
+        self.count = count
+
+    def delta(self, previous: Optional["HistogramState"]) -> "HistogramState":
+        """The observations recorded between ``previous`` and this state.
+
+        ``previous=None`` means "since the beginning" (returns self).
+        A negative difference (instrument recreated) degrades to this
+        state's own totals rather than producing nonsense counts.
+        """
+        if previous is None:
+            return self
+        if previous.count > self.count:
+            return self
+        counts = tuple(now - then for now, then
+                       in zip(self.counts, previous.counts))
+        return HistogramState(counts, self.sum - previous.sum,
+                              self.count - previous.count)
+
+
+def percentile_from_counts(bounds: Tuple[float, ...],
+                           counts: Tuple[int, ...], q: float,
+                           vmin: Optional[float] = None,
+                           vmax: Optional[float] = None) -> float:
+    """Estimate the ``q``-th percentile (0..100) from bucket counts.
+
+    Linear interpolation inside the bucket containing the target rank
+    (the Prometheus ``histogram_quantile`` estimate).  ``vmin``/``vmax``
+    tighten the winning bucket's range when the observed extremes fall
+    inside it; without them (windowed deltas don't track extremes) the
+    overflow bucket reports the highest finite bound.  Returns 0.0 when
+    the counts are empty.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = (q / 100.0) * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative < target:
+            continue
+        if index >= len(bounds):
+            return vmax if vmax is not None else bounds[-1]
+        lower = bounds[index - 1] if index > 0 else 0.0
+        upper = bounds[index]
+        if vmin is not None and vmin > lower:
+            lower = min(vmin, upper)
+        if vmax is not None and vmax < upper:
+            upper = max(vmax, lower)
+        fraction = (target - previous) / bucket_count
+        return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+    return vmax if vmax is not None else bounds[-1]
+
+
 class Histogram:
     """Fixed-bucket histogram with p50/p95/p99 estimation.
 
@@ -254,43 +329,60 @@ class Histogram:
     def sum(self) -> float:
         return self._merged().sum
 
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        """The finite bucket upper bounds (shared by delta consumers)."""
+        return self._bounds
+
     def percentile(self, q: float) -> float:
         """Estimate the ``q``-th percentile (0..100) from the buckets.
 
-        Linear interpolation inside the bucket containing the target rank;
-        the overflow bucket reports the observed maximum.  Returns 0.0 for
-        an empty histogram.
+        Arbitrary ``q`` — p99.9 is ``percentile(99.9)``.  Linear
+        interpolation inside the bucket containing the target rank; the
+        overflow bucket reports the observed maximum.  Returns 0.0 for an
+        empty histogram.
         """
         return self._percentile_of(self._merged(), q)
 
     def _percentile_of(self, merged: _HistogramShard, q: float) -> float:
         if merged.count == 0:
             return 0.0
-        target = (q / 100.0) * merged.count
-        cumulative = 0
-        for index, bucket_count in enumerate(merged.counts):
-            if bucket_count == 0:
-                continue
-            previous = cumulative
-            cumulative += bucket_count
-            if cumulative < target:
-                continue
-            if index >= len(self._bounds):
-                return merged.max
-            # Interpolate within the winning bucket rather than reporting
-            # its upper bound (which overstates small latencies).  The
-            # observed global min/max tighten the bucket's range when the
-            # distribution's extremes fall inside it — in particular a
-            # single-valued histogram reports that value exactly.
-            lower = self._bounds[index - 1] if index > 0 else 0.0
-            upper = self._bounds[index]
-            if merged.min > lower:
-                lower = min(merged.min, upper)
-            if merged.max < upper:
-                upper = max(merged.max, lower)
-            fraction = (target - previous) / bucket_count
-            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
-        return merged.max
+        # The observed global min/max tighten the winning bucket's range
+        # when the distribution's extremes fall inside it — in particular
+        # a single-valued histogram reports that value exactly.
+        return percentile_from_counts(self._bounds, tuple(merged.counts), q,
+                                      vmin=merged.min, vmax=merged.max)
+
+    def state(self) -> HistogramState:
+        """A cheap cumulative snapshot for windowed-delta consumers.
+
+        One shard merge and a tuple copy; no percentile math.  Pair two
+        states with :meth:`HistogramState.delta` and feed the result to
+        :func:`percentile_from_counts` for windowed tails.
+        """
+        merged = self._merged()
+        return HistogramState(tuple(merged.counts), merged.sum, merged.count)
+
+    def delta(self, previous: Optional[HistogramState],
+              current: Optional[HistogramState] = None) -> Dict[str, float]:
+        """Windowed summary between ``previous`` and ``current`` states.
+
+        ``current=None`` snapshots now.  Returns count/sum/mean and the
+        windowed p50/p95/p99/p99.9 estimates (overflow observations report
+        the highest finite bound — windowed deltas don't track extremes).
+        """
+        state = current if current is not None else self.state()
+        window = state.delta(previous)
+        count = window.count
+        return {
+            "count": count,
+            "sum": window.sum,
+            "mean": (window.sum / count) if count else 0.0,
+            "p50": percentile_from_counts(self._bounds, window.counts, 50),
+            "p95": percentile_from_counts(self._bounds, window.counts, 95),
+            "p99": percentile_from_counts(self._bounds, window.counts, 99),
+            "p999": percentile_from_counts(self._bounds, window.counts, 99.9),
+        }
 
     def buckets(self) -> List[Tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs, Prometheus ``le`` style
@@ -323,6 +415,7 @@ class Histogram:
             "p50": self._percentile_of(merged, 50),
             "p95": self._percentile_of(merged, 95),
             "p99": self._percentile_of(merged, 99),
+            "p999": self._percentile_of(merged, 99.9),
         }
 
 

@@ -94,14 +94,19 @@ class RuleProfile:
         return sum(self.self_seconds)
 
     def timing(self) -> Dict[str, float]:
-        """p50/p95 of self and cascade-inclusive seconds (0.0 if untimed)."""
+        """p50/p95/p99/p99.9 of self and cascade-inclusive seconds (0.0 if
+        untimed) — the far tail is where a misbehaving cascade shows first."""
         self_sorted = sorted(self.self_seconds)
         incl_sorted = sorted(self.inclusive_seconds)
         return {
             "self_p50": percentile_of(self_sorted, 50),
             "self_p95": percentile_of(self_sorted, 95),
+            "self_p99": percentile_of(self_sorted, 99),
+            "self_p999": percentile_of(self_sorted, 99.9),
             "inclusive_p50": percentile_of(incl_sorted, 50),
             "inclusive_p95": percentile_of(incl_sorted, 95),
+            "inclusive_p99": percentile_of(incl_sorted, 99),
+            "inclusive_p999": percentile_of(incl_sorted, 99.9),
             "self_total": sum(self_sorted),
             "inclusive_total": sum(incl_sorted),
         }
@@ -231,8 +236,9 @@ class RuleProfiler:
         header = "%-24s %8s %6s %6s %5s" % ("rule", "firings", "sat%",
                                             "exec", "err")
         if timed:
-            header += " %9s %9s %9s %9s %9s" % (
-                "self p50", "self p95", "incl p50", "incl p95", "incl tot")
+            header += " %9s %9s %9s %9s %9s %9s" % (
+                "self p50", "self p95", "incl p50", "incl p95", "incl p99",
+                "incl tot")
         lines.append(header)
         for profile in profiles:
             selectivity = profile.selectivity
@@ -243,10 +249,11 @@ class RuleProfiler:
                 profile.executed, profile.errors)
             if timed:
                 timing = profile.timing()
-                row += " %8.3fm %8.3fm %8.3fm %8.3fm %8.1fm" % (
+                row += " %8.3fm %8.3fm %8.3fm %8.3fm %8.3fm %8.1fm" % (
                     timing["self_p50"] * 1e3, timing["self_p95"] * 1e3,
                     timing["inclusive_p50"] * 1e3,
                     timing["inclusive_p95"] * 1e3,
+                    timing["inclusive_p99"] * 1e3,
                     timing["inclusive_total"] * 1e3)
             lines.append(row)
         edges = [(profile.name, target, count)

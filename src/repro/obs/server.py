@@ -18,6 +18,12 @@ and exposes:
 * ``GET /flight``   — flight-recorder journal stats plus the newest
   records (``?last=N``); ``?download=1`` streams the live journal segment
   (409 unless the instance was built with ``flight_recorder=True``);
+* ``GET /timeseries`` — the windowed-telemetry ring (per-window counter
+  deltas and histogram-delta percentiles; ``?last=N`` windows,
+  ``?window=SECONDS`` adds a trailing aggregate) — rates and tails are
+  computed server-side once, instead of by every scraper;
+* ``GET /slo``      — declared objectives with burn rates and states
+  (ok / burning / breached / recovered);
 * ``GET /trace``    — the Chrome ``trace_event`` document of the retained
   span trees (only meaningful under ``observability="trace"``; otherwise
   409, because an empty trace would read as "nothing happened");
@@ -88,6 +94,8 @@ class _AdminHandler(BaseHTTPRequestHandler):
                 "/stats": self._stats,
                 "/profile": self._profile,
                 "/flight": self._flight,
+                "/timeseries": self._timeseries,
+                "/slo": self._slo,
                 "/why": self._why,
                 "/trace": self._trace,
             }.get(parsed.path)
@@ -158,6 +166,28 @@ class _AdminHandler(BaseHTTPRequestHandler):
             "recent": recorder.recent(last),
         })
 
+    def _timeseries(self, db: Any, query: Dict[str, Any]) -> None:
+        ring = getattr(db, "timeseries", None)
+        if ring is None:
+            self._send(409, "text/plain; charset=utf-8",
+                       "timeseries ticker is off; construct the instance"
+                       " with timeseries=True (or leave observability on)")
+            return
+        last = _int_param(query, "last", 60)
+        window = _int_param(query, "window", 0)
+        payload = ring.as_dict(
+            last=last, aggregate_seconds=float(window) if window else None)
+        self._send_json(200, payload)
+
+    def _slo(self, db: Any, query: Dict[str, Any]) -> None:
+        monitor = getattr(db, "slo", None)
+        if monitor is None:
+            self._send(409, "text/plain; charset=utf-8",
+                       "SLO monitor is off; it requires the timeseries"
+                       " ticker (timeseries=True or observability on)")
+            return
+        self._send_json(200, monitor.as_dict())
+
     def _why(self, db: Any, query: Dict[str, Any]) -> None:
         if getattr(db, "provenance", None) is None:
             self._send(409, "text/plain; charset=utf-8",
@@ -221,6 +251,9 @@ _INDEX_TEXT = """hipac admin endpoint
   /profile   per-rule cost attribution (?top=N, ?format=text)
   /flight    flight-recorder journal stats + recent records (?last=N,
              ?download=1 for the live segment; requires flight_recorder=True)
+  /timeseries  windowed rates + delta percentiles JSON (?last=N windows,
+             ?window=SECONDS for a trailing aggregate; requires the ticker)
+  /slo       objective states + burn rates JSON (requires the ticker)
   /why       causal provenance chain JSON (?oid=Class%23N or Class:N,
              ?attr=, ?depth=N; requires provenance on)
   /trace     Chrome trace_event JSON (requires observability="trace")

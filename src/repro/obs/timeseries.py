@@ -1,0 +1,400 @@
+"""Windowed telemetry: a background ticker over the metrics registry.
+
+Every instrument in :mod:`repro.obs.metrics` is cumulative-since-boot,
+which answers "how much, ever" but not the operational questions — "what
+is commit p99 *right now*", "is the firing rate climbing".  This module
+adds the time dimension without an external TSDB: a daemon thread
+snapshots the registry every ``interval`` seconds, subtracts the
+previous snapshot, and appends the resulting *window* (counter deltas,
+gauge levels, histogram bucket-count deltas) to a bounded in-memory
+ring.  Windowed percentiles come from the bucket-count differences
+(:class:`~repro.obs.metrics.HistogramState` /
+:func:`~repro.obs.metrics.percentile_from_counts`), so a window's p99
+describes that window alone — the rates and tails every scraper used to
+re-derive client-side are now computed once, server-side.
+
+Design constraints:
+
+1. **Bounded memory.**  The ring is a ``deque(maxlen=capacity)``; each
+   window stores only the *nonzero* deltas, so idle windows are a few
+   dozen bytes and a day of 1-second windows at the default capacity
+   (600 — ten minutes) can never accumulate.
+2. **Negligible overhead.**  A tick is one pass over the instruments
+   (shard merges, tuple copies — no percentile math; summaries are
+   computed lazily when a reader asks) plus one collector pull.  When a
+   window comes back *idle* (no counter or histogram activity) the
+   ticker backs off, doubling its delay up to ``idle_backoff`` — so the
+   hundreds of short-lived HiPAC instances a test suite creates cost a
+   handful of wakeups, not one per second each.
+3. **Callbacks ride the tick.**  The watchdog's pull-path detectors and
+   the SLO monitor (:mod:`repro.obs.slo`) register callbacks that run
+   after every window — even idle ones, because burn rates must be able
+   to *recover* while traffic is absent.  Callback exceptions are
+   counted, never propagated into the ticker loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    HistogramState,
+    MetricsRegistry,
+    format_name,
+    percentile_from_counts,
+)
+
+#: collected-stats keys excluded from idleness detection (the ticker's own
+#: bookkeeping — and the SLO evaluations it drives — must not keep the
+#: ticker awake)
+_SELF_PREFIXES = ("timeseries_", "slo_")
+
+
+class Window:
+    """One tick's worth of deltas (only nonzero entries are stored)."""
+
+    __slots__ = ("seq", "t", "dt", "counters", "gauges", "collected",
+                 "histograms", "idle")
+
+    def __init__(self, seq: int, t: float, dt: float,
+                 counters: Dict[str, float], gauges: Dict[str, float],
+                 collected: Dict[str, float],
+                 histograms: Dict[str, HistogramState], idle: bool) -> None:
+        self.seq = seq
+        self.t = t          #: wall-clock end of the window
+        self.dt = dt        #: seconds covered
+        self.counters = counters      #: counter deltas over the window
+        self.gauges = gauges          #: gauge levels at the end of it
+        self.collected = collected    #: component-stat deltas
+        self.histograms = histograms  #: bucket-count deltas
+        self.idle = idle
+
+
+class TimeseriesRing:
+    """Bounded ring of metric windows, fed by a background ticker.
+
+    ``tick()`` may also be called directly (tests drive it with a fake
+    clock); ``start()`` spawns the daemon thread that calls it on the
+    wall clock.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *,
+                 interval: float = 1.0, capacity: int = 600,
+                 idle_backoff: Optional[float] = None,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.registry = registry
+        self.interval = max(0.01, float(interval))
+        self.capacity = max(2, int(capacity))
+        self.idle_backoff = (idle_backoff if idle_backoff is not None
+                             else self.interval * 10.0)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._windows: Deque[Window] = deque(maxlen=self.capacity)
+        self._bounds: Dict[str, Tuple[float, ...]] = {}
+        self._prev_counters: Dict[str, float] = {}
+        self._prev_collected: Dict[str, float] = {}
+        self._prev_hists: Dict[str, HistogramState] = {}
+        self._last_t: Optional[float] = None
+        self._seq = 0
+        self._ticks = 0
+        self._idle_ticks = 0
+        self._tick_errors = 0
+        self._callback_errors = 0
+        self._callbacks: List[Callable[[Window], None]] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------- ticking
+
+    def add_callback(self, callback: Callable[[Window], None]) -> None:
+        """Run ``callback(window)`` after every tick (idle ones included)."""
+        with self._lock:
+            self._callbacks.append(callback)
+
+    def tick(self, now: Optional[float] = None) -> Window:
+        """Snapshot the registry, append one window, run the callbacks."""
+        if now is None:
+            now = self._clock()
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        hist_states: Dict[str, HistogramState] = {}
+        for instrument in self.registry.instruments():
+            rendered = format_name(instrument.name, instrument.labels)
+            if instrument.kind == "counter":
+                counters[rendered] = instrument.value
+            elif instrument.kind == "gauge":
+                gauges[rendered] = instrument.value
+            else:
+                hist_states[rendered] = instrument.state()
+                if rendered not in self._bounds:
+                    self._bounds[rendered] = instrument.bounds
+        collected = self.registry.collected()
+        with self._lock:
+            dt = (now - self._last_t) if self._last_t is not None \
+                else self.interval
+            dt = max(dt, 1e-9)
+            counter_deltas = {
+                name: value - self._prev_counters.get(name, 0)
+                for name, value in counters.items()
+                if value - self._prev_counters.get(name, 0)}
+            collected_deltas = {
+                name: value - self._prev_collected.get(name, 0)
+                for name, value in collected.items()
+                if isinstance(value, (int, float))
+                and value - self._prev_collected.get(name, 0)}
+            hist_deltas = {}
+            for name, state in hist_states.items():
+                delta = state.delta(self._prev_hists.get(name))
+                if delta.count:
+                    hist_deltas[name] = delta
+            idle = not counter_deltas and not hist_deltas and all(
+                key.startswith(_SELF_PREFIXES)
+                for key in collected_deltas)
+            self._seq += 1
+            window = Window(self._seq, now, dt, counter_deltas,
+                            {name: value for name, value in gauges.items()
+                             if value}, collected_deltas, hist_deltas, idle)
+            self._windows.append(window)
+            self._prev_counters = counters
+            self._prev_collected = {
+                name: value for name, value in collected.items()
+                if isinstance(value, (int, float))}
+            self._prev_hists = hist_states
+            self._last_t = now
+            self._ticks += 1
+            if idle:
+                self._idle_ticks += 1
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            try:
+                callback(window)
+            except Exception:
+                with self._lock:
+                    self._callback_errors += 1
+        return window
+
+    # ------------------------------------------------------ background loop
+
+    def start(self) -> None:
+        """Spawn the ticker daemon (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="hipac-timeseries")
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the ticker and join it (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        delay = self.interval
+        while not self._stop.wait(delay):
+            started = time.perf_counter()
+            try:
+                window = self.tick()
+            except Exception:
+                with self._lock:
+                    self._tick_errors += 1
+                delay = self.idle_backoff
+                continue
+            # Idle instances back off (a test suite holds hundreds of
+            # engines open); any activity snaps back to the interval.
+            if window.idle:
+                delay = min(delay * 2.0, self.idle_backoff)
+            else:
+                delay = self.interval
+            delay = max(0.01, delay - (time.perf_counter() - started))
+
+    # --------------------------------------------------------------- views
+
+    def windows(self, last: Optional[int] = None) -> List[Window]:
+        """The newest ``last`` windows, oldest first (all if ``None``)."""
+        with self._lock:
+            items = list(self._windows)
+        if last is not None and last >= 0:
+            items = items[len(items) - min(last, len(items)):]
+        return items
+
+    def _select(self, seconds: float,
+                now: Optional[float] = None) -> List[Window]:
+        if now is None:
+            with self._lock:
+                now = self._last_t if self._last_t is not None \
+                    else self._clock()
+        cutoff = now - seconds
+        return [window for window in self.windows() if window.t > cutoff]
+
+    def aggregate(self, seconds: float,
+                  now: Optional[float] = None) -> Dict[str, Any]:
+        """Merge the windows covering the trailing ``seconds``.
+
+        Counter/collected deltas sum; histogram bucket counts sum and
+        yield the trailing-window percentiles; rates divide by the
+        covered time (the sum of selected ``dt``, not the requested
+        span — a ring younger than the span reports what it has).
+        """
+        selected = self._select(seconds, now)
+        elapsed = sum(window.dt for window in selected)
+        counters: Dict[str, float] = {}
+        collected: Dict[str, float] = {}
+        merged: Dict[str, HistogramState] = {}
+        for window in selected:
+            for name, delta in window.counters.items():
+                counters[name] = counters.get(name, 0) + delta
+            for name, delta in window.collected.items():
+                collected[name] = collected.get(name, 0) + delta
+            for name, state in window.histograms.items():
+                prior = merged.get(name)
+                if prior is None:
+                    merged[name] = state
+                else:
+                    merged[name] = HistogramState(
+                        tuple(a + b for a, b
+                              in zip(prior.counts, state.counts)),
+                        prior.sum + state.sum, prior.count + state.count)
+        safe_elapsed = max(elapsed, 1e-9)
+        out: Dict[str, Any] = {
+            "seconds": seconds,
+            "elapsed": elapsed,
+            "windows": len(selected),
+            "counters": {name: {"delta": delta,
+                                "rate": delta / safe_elapsed}
+                         for name, delta in sorted(counters.items())},
+            "collected": {name: {"delta": delta,
+                                 "rate": delta / safe_elapsed}
+                          for name, delta in sorted(collected.items())},
+            "histograms": {name: self._summarize(name, state)
+                           for name, state in sorted(merged.items())},
+        }
+        if selected:
+            out["gauges"] = dict(selected[-1].gauges)
+        else:
+            out["gauges"] = {}
+        return out
+
+    def _summarize(self, name: str, state: HistogramState,
+                   bounds: Optional[Tuple[float, ...]] = None
+                   ) -> Dict[str, float]:
+        if bounds is None:
+            bounds = self._bounds.get(name, ())
+        count = state.count
+        return {
+            "count": count,
+            "sum": state.sum,
+            "mean": (state.sum / count) if count else 0.0,
+            "p50": percentile_from_counts(bounds, state.counts, 50),
+            "p95": percentile_from_counts(bounds, state.counts, 95),
+            "p99": percentile_from_counts(bounds, state.counts, 99),
+            "p999": percentile_from_counts(bounds, state.counts, 99.9),
+        }
+
+    def histogram_window(self, name: str, seconds: float,
+                         now: Optional[float] = None) -> Dict[str, float]:
+        """Trailing-window summary for one histogram (zeros if quiet)."""
+        merged, bounds = self.histogram_raw_window(name, seconds, now)
+        return self._summarize(name, merged, bounds)
+
+    def histogram_raw_window(self, name: str, seconds: float,
+                             now: Optional[float] = None
+                             ) -> Tuple[HistogramState, Tuple[float, ...]]:
+        """Merged bucket-count deltas + bounds for the trailing window
+        (the SLO monitor computes bad-event fractions from these).
+
+        ``name`` may be a rendered instrument name or a bare family name
+        — a bare name merges every labeled child (children of one family
+        share their bucket bounds).
+        """
+        selected = self._select(seconds, now)
+        merged: Optional[HistogramState] = None
+        bounds: Tuple[float, ...] = self._bounds.get(name, ())
+        for window in selected:
+            for key, state in window.histograms.items():
+                if key != name and key.split("{", 1)[0] != name:
+                    continue
+                if not bounds:
+                    bounds = self._bounds.get(key, ())
+                if merged is None:
+                    merged = state
+                else:
+                    merged = HistogramState(
+                        tuple(a + b for a, b
+                              in zip(merged.counts, state.counts)),
+                        merged.sum + state.sum, merged.count + state.count)
+        if merged is None:
+            merged = HistogramState((), 0.0, 0)
+        return merged, bounds
+
+    def counter_window(self, name: str, seconds: float,
+                       now: Optional[float] = None) -> Tuple[float, float]:
+        """``(delta, covered_seconds)`` for a counter or collected stat.
+
+        Like :meth:`histogram_raw_window`, a bare family name sums every
+        labeled child of that counter family.
+        """
+        selected = self._select(seconds, now)
+        total = 0.0
+        for window in selected:
+            if name in window.counters:
+                total += window.counters[name]
+            elif name in window.collected:
+                total += window.collected[name]
+            else:
+                total += sum(delta for key, delta
+                             in window.counters.items()
+                             if key.split("{", 1)[0] == name)
+        return total, sum(window.dt for window in selected)
+
+    # --------------------------------------------------------------- stats
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "ticks": self._ticks,
+                "idle_ticks": self._idle_ticks,
+                "tick_errors": self._tick_errors,
+                "callback_errors": self._callback_errors,
+                "windows": len(self._windows),
+                "capacity": self.capacity,
+                "interval_ms": self.interval * 1e3,
+            }
+
+    def window_dict(self, window: Window) -> Dict[str, Any]:
+        """JSON-safe rendering of one window (summaries computed here)."""
+        return {
+            "seq": window.seq,
+            "t": window.t,
+            "dt": window.dt,
+            "idle": window.idle,
+            "counters": dict(window.counters),
+            "gauges": dict(window.gauges),
+            "collected": dict(window.collected),
+            "histograms": {name: self._summarize(name, state)
+                           for name, state in window.histograms.items()},
+        }
+
+    def as_dict(self, last: int = 60,
+                aggregate_seconds: Optional[float] = None) -> Dict[str, Any]:
+        """The ``GET /timeseries`` payload."""
+        out: Dict[str, Any] = {
+            "interval": self.interval,
+            "stats": self.stats,
+            "windows": [self.window_dict(window)
+                        for window in self.windows(last)],
+        }
+        if aggregate_seconds is not None:
+            out["aggregate"] = self.aggregate(aggregate_seconds)
+        return out

@@ -49,8 +49,9 @@ RULE_STORM = "rule_storm"
 CASCADE_DEPTH = "cascade_depth"
 DEFERRED_QUEUE = "deferred_queue"
 LOCK_WAIT = "lock_wait"
+SLO_BURN = "slo_burn"
 
-KINDS = (RULE_STORM, CASCADE_DEPTH, DEFERRED_QUEUE, LOCK_WAIT)
+KINDS = (RULE_STORM, CASCADE_DEPTH, DEFERRED_QUEUE, LOCK_WAIT, SLO_BURN)
 
 
 @dataclass(frozen=True)
@@ -189,13 +190,37 @@ class Watchdog:
         with self._lock:
             self._lock_waits.append(seconds)
 
+    def note_slo(self, objective: str, state: str, burn: float,
+                 threshold: float = 1.0) -> Optional[Alert]:
+        """Feed from the SLO monitor: ``objective`` entered a burning or
+        breached state with error-budget burn rate ``burn``.
+
+        Always WARNING, never CRITICAL: a burning budget degrades health
+        but must not flip it to failing — that level is reserved for
+        broken durability and cut cascades.
+        """
+        if not self.enabled:
+            return None
+        return self._alert(
+            SLO_BURN, WARNING,
+            "SLO %s %s (burn rate %.2fx budget)" % (objective, state, burn),
+            value=burn, threshold=threshold)
+
     # ------------------------------------------------------- pull-path check
 
-    def check(self) -> List[Alert]:
+    def check(self, deferred_depth: Optional[int] = None) -> List[Alert]:
         """Run the pull-path detectors; returns alerts raised by this call.
 
-        Invoked by health readers (the admin server, ``HiPAC.health()``) —
-        aggregate detectors cost nothing while nobody is looking.
+        Invoked by health readers (the admin server, ``HiPAC.health()``)
+        and by the timeseries ticker on every window — so aggregate
+        detectors fire without an external scraper attached, and still
+        cost nothing per operation.
+
+        ``deferred_depth`` is the *standing* deferred-queue depth across
+        live transactions (the ticker passes it): the inline
+        :meth:`note_deferred_depth` feed only sees a queue when its
+        commit drains it, so a wedged transaction accumulating deferred
+        work forever would otherwise never trip the detector.
         """
         if not self.enabled:
             return []
@@ -214,6 +239,16 @@ class Watchdog:
                         value=p95, threshold=limit)
                     if alert is not None:
                         raised.append(alert)
+        queue_limit = self.config.deferred_queue_limit
+        if (deferred_depth is not None and queue_limit > 0
+                and deferred_depth > queue_limit):
+            alert = self._alert(
+                DEFERRED_QUEUE, WARNING,
+                "standing deferred backlog of %d firings across live "
+                "transactions" % deferred_depth,
+                value=float(deferred_depth), threshold=float(queue_limit))
+            if alert is not None:
+                raised.append(alert)
         return raised
 
     # ---------------------------------------------------------------- views

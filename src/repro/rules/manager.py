@@ -156,6 +156,7 @@ class RuleManager:
         }
         self._deferred_batch = self._metrics.histogram(
             "deferred_batch_size", buckets=DEFAULT_SIZE_BUCKETS)
+        self._error_count = self._metrics.counter("rule_firing_errors_total")
 
         #: detector for transaction-control events ("the Transaction Manager
         #: ... acts as an event detector", §5.2); its sink is this manager
@@ -195,7 +196,7 @@ class RuleManager:
         self.stats = {"signals": 0, "triggered": 0, "conditions_evaluated": 0,
                       "actions_executed": 0, "separate_spawned": 0,
                       "deferred_queued": 0, "max_cascade_depth_seen": 0,
-                      "cascades_cut": 0}
+                      "cascades_cut": 0, "firing_errors": 0}
 
     # ============================================================ rule ops
 
@@ -809,6 +810,7 @@ class RuleManager:
             return firing, outcome
         except BaseException as exc:
             firing.error = str(exc)
+            self._note_firing_error()
             if not ctxn.is_finished():
                 self._txns.abort_transaction(ctxn, source=tracing.RULE_MANAGER)
             raise
@@ -848,6 +850,7 @@ class RuleManager:
             self.stats["actions_executed"] += 1
         except BaseException as exc:
             firing.error = str(exc)
+            self._note_firing_error()
             if not atxn.is_finished():
                 self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
             raise
@@ -860,6 +863,14 @@ class RuleManager:
                                         coupling=rule.ca_coupling,
                                         txn=atxn.txn_id)
             self._spans.finish_span(aspan)
+
+    def _note_firing_error(self) -> None:
+        """Count one errored firing (condition or action path).
+
+        The SLO monitor's firing-error-rate objective windows this
+        against ``triggered`` — it must tick on every failure mode."""
+        self.stats["firing_errors"] += 1
+        self._error_count.inc()
 
     def _run_action(self, rule: Rule, firing: RuleFiring,
                     signal: EventSignal, ctx: ActionContext) -> None:
@@ -964,6 +975,7 @@ class RuleManager:
             return firing, outcome
         except BaseException as exc:
             firing.error = str(exc)
+            self._note_firing_error()
             if not stxn.is_finished():
                 self._txns.abort_transaction(stxn, source=tracing.RULE_MANAGER)
             raise
@@ -1008,10 +1020,12 @@ class RuleManager:
             self.stats["actions_executed"] += 1
         except TransactionAborted as exc:
             firing.error = str(exc)
+            self._note_firing_error()
             if not atxn.is_finished():
                 self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)
         except Exception as exc:
             firing.error = str(exc)
+            self._note_firing_error()
             self.background_errors.append((rule.name, str(exc)))
             if not atxn.is_finished():
                 self._txns.abort_transaction(atxn, source=tracing.RULE_MANAGER)

@@ -1,0 +1,543 @@
+"""Recorded-traffic load generation: replay a journal at Nx speed.
+
+``python -m repro.tools.replay`` answers "does this journal reproduce
+the incident?"; this tool answers the capacity question the ROADMAP's
+serving north star needs: "how fast can the engine absorb this traffic,
+and what do the tails look like while it does?"  It replays a
+flight-recorder journal against a fresh in-process HiPAC at ``--speed``
+times the recorded pace and measures per-stimulus latency the
+**open-loop** way.
+
+Coordinated omission, and why open loop matters
+-----------------------------------------------
+
+A closed-loop driver (send, wait for the reply, send the next) measures
+only *service time*: when the system stalls for 100 ms, the driver
+politely stops offering load, the stall hits **one** request, and the
+reported p99 looks great precisely when the system was at its worst.
+Real traffic does not wait — the requests that would have arrived during
+the stall still arrive, late.
+
+The open-loop driver therefore derives each stimulus's **scheduled send
+time** from the journal's wall-clock envelope (``(wall_i - wall_0) /
+speed``) and measures latency from that *schedule*, not from the moment
+the driver got around to sending: a stall penalizes every stimulus that
+was scheduled during it, exactly as it would penalize real users.
+``--closed-loop`` keeps the deliberately wrong control mode so the two
+can be compared (the test suite asserts the difference).
+
+Replay semantics under concurrency
+----------------------------------
+
+Stimuli are partitioned into **traffic** (update-only transactions,
+external/temporal signals, manual fires — safe to run concurrently on a
+worker pool) and **barriers** (schema/rule admin, creates and deletes —
+anything that perturbs OID allocation or the rule base).  A barrier
+drains all in-flight traffic, runs inline, and only then does the
+schedule resume — so admin prefixes replay deterministically while the
+steady-state traffic exercises real concurrency.
+
+After the run the per-rule firing *counts* are diffed against the
+journal's recorded firings (counts, not sequences: reordered concurrent
+traffic interleaves firings differently without being wrong), and the
+in-process SLO monitor renders its verdict over the run's windows.
+
+Output: a human summary or ``--json``, plus ``BENCH_serving.json`` via
+``--out`` (the CI serving gate) — see ``benchmarks/bench_serving_replay.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import queue
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs import flightrec
+from repro.recovery.checkpoint import load_checkpoint
+from repro.recovery.recover import RecoveryReport, apply_checkpoint_state, \
+    rebind_stored_rules
+from repro.tools.replay import (
+    DivergenceReport,
+    RuleSource,
+    _journal_cut,
+    _resolve_rules,
+    journal_firings,
+    replay_stimulus,
+)
+
+#: operation kinds safe to replay concurrently (everything else —
+#: create/delete/DDL — perturbs OID allocation order and must barrier)
+_TRAFFIC_OP_KINDS = frozenset(("update",))
+
+#: record types that are traffic when standalone
+_TRAFFIC_SIGNALS = frozenset((flightrec.EXTERNAL, flightrec.TEMPORAL,
+                              flightrec.FIRE))
+
+
+@dataclass
+class _Unit:
+    """One schedulable unit: a stimulus record or a whole txn group."""
+
+    records: List[Dict[str, Any]]
+    traffic: bool           #: safe on the worker pool vs. barrier
+    wall: float             #: recorded wall-clock of the first record
+
+    @property
+    def seq(self) -> int:
+        return self.records[0]["seq"]
+
+
+@dataclass
+class LoadgenReport:
+    """Everything one load run measured."""
+
+    journal_records: int = 0
+    units: int = 0
+    traffic_units: int = 0
+    barrier_units: int = 0
+    speed: float = 1.0
+    workers: int = 0
+    open_loop: bool = True
+    #: recorded span of the journal and the replay's wall duration
+    recorded_seconds: float = 0.0
+    duration_seconds: float = 0.0
+    #: sustained offered/absorbed load
+    stimuli_per_second: float = 0.0
+    #: latency from the scheduled send time (seconds)
+    latency: Dict[str, float] = field(default_factory=dict)
+    #: per-rule firing counts: {rule: {"expected": n, "got": n}}
+    firing_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    firing_divergence: bool = False
+    #: SLO verdicts at end of run: [{name, state, burn_fast, ...}]
+    slo: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "journal_records": self.journal_records,
+            "units": self.units,
+            "traffic_units": self.traffic_units,
+            "barrier_units": self.barrier_units,
+            "speed": self.speed,
+            "workers": self.workers,
+            "open_loop": self.open_loop,
+            "recorded_seconds": self.recorded_seconds,
+            "duration_seconds": self.duration_seconds,
+            "stimuli_per_second": self.stimuli_per_second,
+            "latency": self.latency,
+            "firing_counts": self.firing_counts,
+            "firing_divergence": self.firing_divergence,
+            "slo": self.slo,
+            "notes": self.notes,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            "loadgen: %d units (%d traffic, %d barriers) from %d journal "
+            "records" % (self.units, self.traffic_units, self.barrier_units,
+                         self.journal_records),
+            "  %.1fs of recorded traffic replayed at %gx in %.2fs "
+            "(%s, %d workers)" % (self.recorded_seconds, self.speed,
+                                  self.duration_seconds,
+                                  "open loop" if self.open_loop
+                                  else "CLOSED loop (control)",
+                                  self.workers),
+            "  sustained: %.0f stimuli/s" % self.stimuli_per_second,
+            "  latency from schedule: p50 %.3fms  p95 %.3fms  p99 %.3fms  "
+            "p99.9 %.3fms  max %.3fms" % (
+                self.latency.get("p50", 0.0) * 1e3,
+                self.latency.get("p95", 0.0) * 1e3,
+                self.latency.get("p99", 0.0) * 1e3,
+                self.latency.get("p999", 0.0) * 1e3,
+                self.latency.get("max", 0.0) * 1e3),
+        ]
+        if self.firing_divergence:
+            diverged = {rule: counts
+                        for rule, counts in self.firing_counts.items()
+                        if counts["expected"] != counts["got"]}
+            lines.append("  FIRING DIVERGENCE: %s" % diverged)
+        else:
+            lines.append("  firing counts match the recording (%d rules)"
+                         % len(self.firing_counts))
+        for objective in self.slo:
+            lines.append("  slo %-16s %-9s burn fast %.2fx / slow %.2fx"
+                         % (objective["name"], objective["state"],
+                            objective["burn_fast"], objective["burn_slow"]))
+        for note in self.notes:
+            lines.append("  note: %s" % note)
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# unit construction
+
+
+def _op_kinds(record: Dict[str, Any]) -> List[str]:
+    data = record["data"]
+    if record["type"] == flightrec.TXN_AUTO:
+        return [entry["op"]["kind"] for entry in data.get("ops", [])]
+    if record["type"] == flightrec.OPERATION:
+        return [data["op"]["kind"]]
+    return []
+
+
+def build_units(suffix: List[Dict[str, Any]]) -> List[_Unit]:
+    """Partition a journal suffix into schedulable units.
+
+    Explicit transactions group into one unit spanning begin..commit
+    (nested begins alias into the enclosing group); everything else is a
+    unit of one record.  A unit is *traffic* when every record in it is
+    an update-only operation or a signal — anything touching the schema,
+    the rule base, or OID allocation is a barrier.
+    """
+    units: List[_Unit] = []
+    #: txn id -> open group (aliases map nested txns to their group)
+    open_groups: Dict[str, Dict[str, Any]] = {}
+    for record in suffix:
+        if record["type"] not in flightrec.STIMULUS_TYPES:
+            continue
+        rtype = record["type"]
+        txn_id = record["txn"]
+        group = open_groups.get(txn_id) if txn_id else None
+
+        if rtype == flightrec.TXN_BEGIN:
+            parent = record["data"].get("parent")
+            enclosing = open_groups.get(parent) if parent else None
+            if enclosing is not None:
+                enclosing["records"].append(record)
+                open_groups[txn_id] = enclosing
+            else:
+                open_groups[txn_id] = {"records": [record], "top": txn_id,
+                                       "traffic": True}
+            continue
+        if group is not None:
+            group["records"].append(record)
+            if rtype == flightrec.OPERATION:
+                if not all(kind in _TRAFFIC_OP_KINDS
+                           for kind in _op_kinds(record)):
+                    group["traffic"] = False
+            elif rtype not in (flightrec.TXN_COMMIT, flightrec.TXN_ABORT,
+                               flightrec.EXTERNAL, flightrec.FIRE):
+                # rule admin / event definition inside the transaction
+                group["traffic"] = False
+            if rtype in (flightrec.TXN_COMMIT, flightrec.TXN_ABORT) \
+                    and txn_id == group["top"]:
+                units.append(_Unit(group["records"], group["traffic"],
+                                   group["records"][0].get("wall", 0.0)))
+                for alias in [key for key, value in open_groups.items()
+                              if value is group]:
+                    del open_groups[alias]
+            continue
+
+        # standalone record
+        if rtype == flightrec.TXN_AUTO:
+            traffic = all(kind in _TRAFFIC_OP_KINDS
+                          for kind in _op_kinds(record))
+        elif rtype in _TRAFFIC_SIGNALS:
+            traffic = True
+        else:
+            traffic = False
+        units.append(_Unit([record], traffic, record.get("wall", 0.0)))
+    # A torn tail can leave groups open; replay what was captured, as a
+    # barrier (the commit never made it, determinism is off anyway).
+    emitted = set()
+    for group in open_groups.values():
+        if id(group) in emitted:
+            continue
+        emitted.add(id(group))
+        units.append(_Unit(group["records"], False,
+                           group["records"][0].get("wall", 0.0)))
+    units.sort(key=lambda unit: unit.seq)
+    return units
+
+
+# --------------------------------------------------------------------------
+# the generator
+
+
+class _Pending:
+    """Counts in-flight traffic units so barriers can drain them."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._count = 0
+
+    def inc(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def dec(self) -> None:
+        with self._cv:
+            self._count -= 1
+            if self._count == 0:
+                self._cv.notify_all()
+
+    def drain(self) -> None:
+        with self._cv:
+            while self._count:
+                self._cv.wait()
+
+
+def run_loadgen(data_dir: Any, rules: RuleSource = None, *,
+                speed: float = 10.0, workers: int = 4,
+                open_loop: bool = True,
+                db: Optional[Any] = None) -> LoadgenReport:
+    """Replay the journal under ``data_dir`` at ``speed``x as load.
+
+    ``rules`` supplies the rule library exactly as in
+    :func:`repro.tools.replay.replay`.  ``db`` injects a prebuilt target
+    instance (tests); by default a fresh in-memory HiPAC is built with a
+    fast timeseries ticker so the SLO verdict has windows to judge.
+    Returns a :class:`LoadgenReport`; the target instance is closed
+    before returning.
+    """
+    from repro.core.hipac import HiPAC
+
+    records, dropped = flightrec.read_journal(data_dir)
+    report = LoadgenReport(speed=float(speed), workers=int(workers),
+                           open_loop=open_loop)
+    if dropped:
+        report.notes.append(
+            "journal: %d torn/unreadable trailing units ignored" % dropped)
+    checkpoint = load_checkpoint(data_dir)
+    cut = _journal_cut(records, checkpoint)
+    suffix = records[cut:]
+    report.journal_records = len(suffix)
+
+    owns_db = db is None
+    if db is None:
+        db = HiPAC(timeseries_interval=0.25)
+    library = _resolve_rules(db, rules)
+    if checkpoint is not None:
+        recovery = RecoveryReport()
+        apply_checkpoint_state(db.store, checkpoint)
+        rebind_stored_rules(db, library, recovery)
+
+    units = build_units(suffix)
+    report.units = len(units)
+    report.traffic_units = sum(1 for unit in units if unit.traffic)
+    report.barrier_units = report.units - report.traffic_units
+    walls = [unit.wall for unit in units if unit.wall]
+    report.recorded_seconds = (max(walls) - min(walls)) if walls else 0.0
+
+    divergence = DivergenceReport()  # collects per-stimulus notes
+    latencies: List[float] = []
+    latency_lock = threading.Lock()
+    hist = db.metrics.histogram("serving_latency_seconds")
+    pending = _Pending()
+    work: "queue.Queue[Optional[Any]]" = queue.Queue()
+
+    def execute(unit: _Unit, scheduled_at: float) -> None:
+        txn_map: Dict[str, Any] = {}
+        try:
+            for record in unit.records:
+                replay_stimulus(db, record, txn_map, library, divergence)
+        except Exception as exc:
+            divergence.notes.append("seq %d: unit failed: %s"
+                                    % (unit.seq, exc))
+        finally:
+            for txn in list(txn_map.values()):
+                if not txn.is_finished() and txn.parent is None:
+                    db.abort(txn)
+        elapsed = time.perf_counter() - scheduled_at
+        hist.observe(elapsed)
+        with latency_lock:
+            latencies.append(elapsed)
+
+    def worker() -> None:
+        while True:
+            item = work.get()
+            if item is None:
+                return
+            unit, scheduled_at = item
+            try:
+                execute(unit, scheduled_at)
+            finally:
+                pending.dec()
+
+    pool = [threading.Thread(target=worker, daemon=True,
+                             name="loadgen-%d" % index)
+            for index in range(max(1, int(workers)))]
+    for thread in pool:
+        thread.start()
+
+    base_wall = units[0].wall if units else 0.0
+    start = time.perf_counter()
+    for unit in units:
+        offset = max(0.0, (unit.wall - base_wall)) / max(1e-9, speed)
+        scheduled_at = start + offset
+        if open_loop:
+            # Open loop: wait for the *schedule*, never for the system.
+            delay = scheduled_at - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+        else:
+            # Closed loop (the deliberately wrong control): one unit at a
+            # time, the clock starts when the driver finally sends —
+            # stalls silently shed load and vanish from the tail.
+            pending.drain()
+            scheduled_at = time.perf_counter()
+        if unit.traffic:
+            pending.inc()
+            work.put((unit, scheduled_at))
+        else:
+            pending.drain()
+            execute(unit, scheduled_at if open_loop
+                    else time.perf_counter())
+    pending.drain()
+    for _ in pool:
+        work.put(None)
+    for thread in pool:
+        thread.join(timeout=10.0)
+    db.drain()
+    report.duration_seconds = max(1e-9, time.perf_counter() - start)
+    report.stimuli_per_second = report.units / report.duration_seconds
+
+    from repro.obs.profiler import percentile_of
+    ordered = sorted(latencies)
+    report.latency = {
+        "count": len(ordered),
+        "p50": percentile_of(ordered, 50),
+        "p95": percentile_of(ordered, 95),
+        "p99": percentile_of(ordered, 99),
+        "p999": percentile_of(ordered, 99.9),
+        "max": ordered[-1] if ordered else 0.0,
+        "mean": (sum(ordered) / len(ordered)) if ordered else 0.0,
+    }
+
+    # Firing verdict: per-rule counts (order-free — concurrent traffic
+    # interleaves firings differently without being wrong).
+    expected: Dict[str, int] = {}
+    for entry in journal_firings(suffix):
+        rule = entry["data"]["rule"]
+        expected[rule] = expected.get(rule, 0) + 1
+    got: Dict[str, int] = {}
+    for firing in db.firing_log().all():
+        if firing.satisfied is None:
+            continue
+        got[firing.rule_name] = got.get(firing.rule_name, 0) + 1
+    for rule in sorted(set(expected) | set(got)):
+        report.firing_counts[rule] = {"expected": expected.get(rule, 0),
+                                      "got": got.get(rule, 0)}
+    report.firing_divergence = any(
+        counts["expected"] != counts["got"]
+        for counts in report.firing_counts.values())
+    if db.firing_log().dropped:
+        report.notes.append(
+            "firing log dropped %d records; counts are lower bounds"
+            % db.firing_log().dropped)
+    report.notes.extend(divergence.notes[:20])
+    if divergence.unbound_rules:
+        report.notes.append("unbound rules (no library entry): %s"
+                            % sorted(set(divergence.unbound_rules)))
+
+    # SLO verdict: force a final window so the run's tail is judged too.
+    if db.timeseries is not None:
+        db.timeseries.tick()
+        if db.slo is not None:
+            report.slo = db.slo.evaluate()
+    if owns_db:
+        db.close()
+    return report
+
+
+# --------------------------------------------------------------------------
+# CLI
+
+
+def _smoke(speed: float) -> int:
+    """Record a short SAA journal, replay it at ``speed``x, and require
+    matching per-rule firing counts (the CI loadgen gate)."""
+    import shutil
+    import tempfile
+
+    from repro.core.hipac import HiPAC
+    from repro.rules.coupling import IMMEDIATE
+    from repro.saa.assistant import SecuritiesAssistant
+
+    def build_saa(db: Any, install: bool) -> Any:
+        # Immediate coupling and a durable (non-one-shot) rule keep the
+        # firing counts independent of replay interleaving.
+        saa = SecuritiesAssistant(db, coupling=IMMEDIATE, install=install)
+        saa.add_ticker("NYSE")
+        saa.add_display("jones")
+        saa.add_trader("fidelity")
+        saa.add_trading_rule(client="smith", symbol="XRX", shares=100,
+                             limit=50.0, service="fidelity", one_shot=False)
+        return saa
+
+    data_dir = tempfile.mkdtemp(prefix="loadgen-smoke-")
+    try:
+        db = HiPAC(flight_recorder=True, data_dir=data_dir)
+        saa = build_saa(db, True)
+        ticker = saa.tickers["NYSE"]
+        for index in range(80):
+            symbol = ("XRX", "IBM")[index % 2]
+            ticker.push_quote(symbol, 45.0 + (index % 12))
+            time.sleep(0.002)
+        db.close()
+
+        report = run_loadgen(
+            data_dir, rules=lambda fresh: build_saa(fresh, False)
+            .rule_library, speed=speed)
+        print(report.summary())
+        return 1 if report.firing_divergence else 0
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.loadgen",
+        description="Open-loop load generation from a flight-recorder "
+                    "journal (coordinated-omission-free latency).")
+    parser.add_argument("data_dir", nargs="?",
+                        help="HiPAC data directory (holds flight/)")
+    parser.add_argument("--speed", type=float, default=10.0,
+                        help="replay speed multiplier (default 10)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="traffic worker threads (default 4)")
+    parser.add_argument("--rules", metavar="MOD:ATTR",
+                        help="rule library or setup callable (as in "
+                             "repro.tools.replay)")
+    parser.add_argument("--closed-loop", action="store_true",
+                        help="use the deliberately wrong closed-loop "
+                             "control (for comparison)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the report JSON to PATH "
+                             "(e.g. BENCH_serving.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="self-contained SAA record/replay/verify "
+                             "round trip")
+    options = parser.parse_args(argv)
+
+    if options.smoke:
+        return _smoke(options.speed)
+    if not options.data_dir:
+        parser.error("data_dir is required unless --smoke is given")
+
+    from repro.tools.replay import _load_rules_ref
+    rules = _load_rules_ref(options.rules) if options.rules else None
+    report = run_loadgen(options.data_dir, rules, speed=options.speed,
+                         workers=options.workers,
+                         open_loop=not options.closed_loop)
+    if options.out:
+        with open(options.out, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+    if options.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 1 if report.firing_divergence else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -269,6 +269,15 @@ def _replay_stimulus(db: Any, record: Dict[str, Any],
         raise ReplayError("unknown stimulus type %r" % rtype)
 
 
+#: public alias — the load generator (:mod:`repro.tools.loadgen`)
+#: re-issues journalled stimuli through the same single-record engine.
+def replay_stimulus(db: Any, record: Dict[str, Any],
+                    txn_map: Dict[str, Any], library: Dict[str, Rule],
+                    report: DivergenceReport) -> None:
+    """Re-issue one journal record against ``db`` (see module docs)."""
+    _replay_stimulus(db, record, txn_map, library, report)
+
+
 def _replay_temporal(db: Any, record: Dict[str, Any],
                      report: DivergenceReport) -> None:
     """Re-report a recorded temporal occurrence against its spec.

@@ -1,12 +1,18 @@
 """``python -m repro.tools.top`` — a live terminal dashboard for a served
 HiPAC instance.
 
-Polls the admin endpoint's ``/stats`` (see ``HiPAC.serve_admin()``) and
-renders rule / transaction / event rates computed from successive
-snapshots, plus the live gauges (open transactions, deferred-queue depth)
-and the watchdog's health verdict from ``/health``.  Rates use the
-*server's* clock (``time`` in the payload), so a slow poller under-samples
-but never mis-computes.
+Preferred data source is the server's windowed telemetry
+(``GET /timeseries``): the ticker snapshots every interval server-side,
+so each frame shows the trailing-minute rates plus a per-window
+sparkline — one glyph per ticker window — and the windowed commit-latency
+percentiles, all computed from the *server's* clock regardless of how
+slowly this poller runs.  When the served instance has the ticker off
+(409), the dashboard falls back to computing rates client-side from
+successive ``/stats`` snapshots, exactly as before: a slow poller then
+under-samples but never mis-computes.
+
+Either way ``/health`` supplies the watchdog verdict and — when the SLO
+monitor is on — the per-objective burn states.
 
 Stdlib only (urllib + ANSI escapes); ``--plain`` disables cursor control
 for dumb terminals and log capture.
@@ -22,7 +28,10 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Tuple
 
-#: counters whose deltas become the rate rows, as (label, section, key)
+#: counters whose deltas become the rate rows, as (label, section, key).
+#: The same rows serve both sources: the ``/stats`` tree addresses them
+#: as ``stats[section][key]``; the timeseries windows flatten them to
+#: ``<section>_<key>`` in each window's ``collected`` deltas.
 RATE_ROWS: Tuple[Tuple[str, str, str], ...] = (
     ("rule firings/s", "rules", "triggered"),
     ("conditions/s", "rules", "conditions_evaluated"),
@@ -35,6 +44,25 @@ RATE_ROWS: Tuple[Tuple[str, str, str], ...] = (
     ("prov published/s", "provenance", "published"),
     ("why queries/s", "provenance", "why_queries"),
 )
+
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float], width: int = 20) -> str:
+    """Render a rate series as unicode block glyphs, newest right.
+
+    Scaled to the series' own max (an all-zero series is a flat
+    baseline); longer series keep the newest ``width`` points."""
+    if not values:
+        return ""
+    values = values[-width:]
+    peak = max(values)
+    if peak <= 0:
+        return SPARK_GLYPHS[0] * len(values)
+    top = len(SPARK_GLYPHS) - 1
+    return "".join(
+        SPARK_GLYPHS[min(top, int((value / peak) * top + 0.5))]
+        for value in values)
 
 
 def fetch(url: str, timeout: float = 5.0) -> Dict[str, Any]:
@@ -51,8 +79,9 @@ def counter(stats: Dict[str, Any], section: str, key: str) -> float:
         return 0.0
 
 
-def rates(previous: Dict[str, Any], current: Dict[str, Any]) -> List[Tuple[str, float]]:
-    """Per-second rates between two ``/stats`` payloads.
+def rates(previous: Dict[str, Any], current: Dict[str, Any]
+          ) -> List[Tuple[str, float, str]]:
+    """Per-second rates between two ``/stats`` payloads (fallback path).
 
     Uses the server-side ``time`` stamps; returns an empty list when the
     interval is non-positive (same snapshot, or server restarted)."""
@@ -63,12 +92,47 @@ def rates(previous: Dict[str, Any], current: Dict[str, Any]) -> List[Tuple[str, 
     for label, section, key in RATE_ROWS:
         delta = (counter(current.get("stats", {}), section, key)
                  - counter(previous.get("stats", {}), section, key))
-        rows.append((label, max(0.0, delta) / elapsed))
+        rows.append((label, max(0.0, delta) / elapsed, ""))
     return rows
 
 
-def render(current: Dict[str, Any], rate_rows: List[Tuple[str, float]],
-           health: Optional[Dict[str, Any]] = None) -> str:
+def timeseries_rows(payload: Dict[str, Any]
+                    ) -> List[Tuple[str, float, str]]:
+    """(label, rate, sparkline) rows from a ``/timeseries`` payload.
+
+    The rate is the server-computed trailing-window aggregate; the
+    sparkline is the per-window rate series, one glyph per ticker
+    window, newest on the right."""
+    windows = payload.get("windows", [])
+    aggregate = payload.get("aggregate", {})
+    rows = []
+    for label, section, key in RATE_ROWS:
+        name = "%s_%s" % (section, key)
+        agg = aggregate.get("collected", {}).get(name, {})
+        series = [window.get("collected", {}).get(name, 0.0)
+                  / max(float(window.get("dt", 0.0)), 1e-9)
+                  for window in windows]
+        rows.append((label, float(agg.get("rate", 0.0)),
+                     sparkline(series)))
+    return rows
+
+
+def commit_latency(payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The windowed ``txn_commit_seconds`` summary, if any commits landed
+    in the aggregate window (labeled families match by base name)."""
+    histograms = payload.get("aggregate", {}).get("histograms", {})
+    for name, summary in histograms.items():
+        if name.split("{", 1)[0] == "txn_commit_seconds" \
+                and summary.get("count"):
+            return summary
+    return None
+
+
+def render(current: Dict[str, Any],
+           rate_rows: List[Tuple[str, float, str]],
+           health: Optional[Dict[str, Any]] = None,
+           latency: Optional[Dict[str, Any]] = None,
+           windowed: bool = False) -> str:
     """One dashboard frame as plain text."""
     lines = []
     status = (health or {}).get("status", "?")
@@ -86,12 +150,36 @@ def render(current: Dict[str, Any], rate_rows: List[Tuple[str, float]],
                         provenance.get("evicted", 0),
                         format_bytes(provenance.get("approx_bytes", 0))))
     if rate_rows:
-        width = max(len(label) for label, _ in rate_rows)
-        for label, rate in rate_rows:
-            lines.append("  %-*s %10.1f" % (width, label, rate))
+        width = max(len(label) for label, _, _ in rate_rows)
+        for label, rate, spark in rate_rows:
+            line = "  %-*s %10.1f" % (width, label, rate)
+            if spark:
+                line += "  %s" % spark
+            lines.append(line)
+    elif windowed:
+        lines.append("  (waiting for the first ticker window...)")
     else:
         lines.append("  (collecting first interval...)")
+    if latency:
+        lines.append("commit latency (windowed): p50 %.2fms  p95 %.2fms"
+                     "  p99 %.2fms  p99.9 %.2fms  (%d commits)"
+                     % (latency.get("p50", 0.0) * 1e3,
+                        latency.get("p95", 0.0) * 1e3,
+                        latency.get("p99", 0.0) * 1e3,
+                        latency.get("p999", 0.0) * 1e3,
+                        latency.get("count", 0)))
     if health:
+        slo = health.get("slo")
+        if slo:
+            burning = [(name, state)
+                       for name, state in sorted(
+                           slo.get("objectives", {}).items())
+                       if state != "ok"]
+            line = "slo: %s" % slo.get("state", "?")
+            if burning:
+                line += "  (%s)" % ", ".join("%s=%s" % pair
+                                             for pair in burning)
+            lines.append(line)
         total = health.get("alerts_total", 0)
         if total:
             lines.append("alerts: %d total" % total)
@@ -132,21 +220,47 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="stop after N frames (0 = run until ^C)")
     parser.add_argument("--plain", action="store_true",
                         help="no ANSI cursor control (append frames)")
+    parser.add_argument("--no-timeseries", action="store_true",
+                        help="skip /timeseries; compute rates client-side "
+                             "from successive /stats snapshots")
+    parser.add_argument("--window", type=float, default=60.0,
+                        help="trailing aggregation window in seconds for "
+                             "/timeseries rates (default 60)")
     args = parser.parse_args(argv)
 
     previous: Optional[Dict[str, Any]] = None
+    #: None = undecided (probe on first frame); the served instance may
+    #: have the ticker off (409), in which case we settle on /stats.
+    use_timeseries: Optional[bool] = False if args.no_timeseries else None
+    timeseries_url = "%s/timeseries?last=30&window=%g" % (args.url,
+                                                          args.window)
     frames = 0
     try:
         while True:
+            series: Optional[Dict[str, Any]] = None
             try:
                 current = fetch(args.url + "/stats")
                 health = fetch(args.url + "/health")
+                if use_timeseries is not False:
+                    try:
+                        series = fetch(timeseries_url)
+                        use_timeseries = True
+                    except urllib.error.HTTPError as exc:
+                        if exc.code != 409:  # 409 = ticker off
+                            raise
+                        use_timeseries = False
             except (urllib.error.URLError, OSError) as exc:
                 print("cannot reach %s: %s" % (args.url, exc),
                       file=sys.stderr)
                 return 1
-            rows = rates(previous, current) if previous else []
-            frame = render(current, rows, health)
+            if series is not None:
+                rows = timeseries_rows(series)
+                frame = render(current, rows, health,
+                               latency=commit_latency(series),
+                               windowed=True)
+            else:
+                rows = rates(previous, current) if previous else []
+                frame = render(current, rows, health)
             if args.plain:
                 print(frame)
                 print("---")

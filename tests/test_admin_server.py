@@ -41,6 +41,7 @@ from repro.obs.watchdog import (
     DEFERRED_QUEUE,
     LOCK_WAIT,
     RULE_STORM,
+    SLO_BURN,
     WARNING,
     Watchdog,
     WatchdogConfig,
@@ -101,7 +102,8 @@ class TestAdminServer:
             health = json.loads(body)
             assert health["status"] == "ok"
             assert set(health["alerts"]) == set(
-                (RULE_STORM, CASCADE_DEPTH, DEFERRED_QUEUE, LOCK_WAIT))
+                (RULE_STORM, CASCADE_DEPTH, DEFERRED_QUEUE, LOCK_WAIT,
+                 SLO_BURN))
             status, _, body = _get(server.url + "/stats")
             assert status == 200
             payload = json.loads(body)
@@ -808,14 +810,15 @@ class TestTopDashboard:
     def test_rates_from_successive_snapshots(self):
         first = self._payload(100.0, commits=10, firings=0)
         second = self._payload(102.0, commits=30, firings=8)
-        rows = dict(top_tool.rates(first, second))
+        rows = {label: rate for label, rate, _ in top_tool.rates(first,
+                                                                 second)}
         assert rows["txn commits/s"] == pytest.approx(10.0)
         assert rows["rule firings/s"] == pytest.approx(4.0)
         assert top_tool.rates(second, second) == []  # zero interval
 
     def test_render_frame(self):
         current = self._payload(50.0, commits=1, firings=1)
-        rows = [("txn commits/s", 12.5)]
+        rows = [("txn commits/s", 12.5, "")]
         health = {"status": "ok", "alerts_total": 1,
                   "recent": [{"severity": "warning", "kind": "rule_storm",
                               "message": "busy"}]}
