@@ -28,6 +28,12 @@ also measured against an identical instrumented stack with the ticker
 off, and that delta is gated at 1% — a background thread that snapshots
 the registry once a second must be invisible from the hot path.
 
+The forensics recorder (``forensics=True``, ISSUE 10) gets the same
+treatment: an *armed-but-idle* stack — recorder wired to the watchdog
+but never triggered — paired against the identical stack without it,
+gated at 1%.  An incident recorder whose mere presence taxes the
+workload would be disarmed in production, which defeats it.
+
 ``OBS_BENCH_CHECK=1`` runs in check mode (CI): assertions run, but
 BENCH_obs.json is left untouched so checkout stays clean.
 
@@ -60,6 +66,7 @@ QUOTES = 150
 ROUNDS = 30
 MAX_OVERHEAD_PCT = 5.0
 MAX_TICKER_OVERHEAD_PCT = 1.0
+MAX_FORENSICS_OVERHEAD_PCT = 1.0
 
 
 def _build(observability, **kwargs):
@@ -85,9 +92,20 @@ def _round(saa) -> float:
 
 
 def test_obs_overhead_shape():
+    import shutil
+    import tempfile
+
+    # The armed-but-idle forensics ablation: identical instrumented
+    # stack plus an armed recorder that never captures (slos=[] keeps
+    # the default objectives from raising the only alert kind this
+    # workload could trip, so the recorder stays truly idle — its worker
+    # thread is lazy-started and must not even exist).
+    forensics_dir = tempfile.mkdtemp(prefix="hipac-bench-forensics-")
     stacks = {"on": _build(True), "trace": _build("trace"),
               "off": _build(False),
-              "no_ticker": _build(True, timeseries=False)}
+              "no_ticker": _build(True, timeseries=False),
+              "forensics": _build(True, forensics=True,
+                                  data_dir=forensics_dir, slos=[])}
     # The serving layer rides along on the instrumented stack; it is
     # scraped between rounds (untimed) to prove the endpoint stays valid
     # while the workload runs.
@@ -98,6 +116,7 @@ def test_obs_overhead_shape():
         _round(saa)
     ratios = {"on": [], "trace": []}
     ticker_ratios = []
+    forensics_ratios = []
     best = {mode: float("inf") for mode in stacks}
     for index in range(ROUNDS):
         timings = {mode: _round(saa) for mode, saa in stacks.items()}
@@ -106,6 +125,9 @@ def test_obs_overhead_shape():
         # The ticker's own cost: instrumented-with-ticker against
         # instrumented-without, paired under the same machine load.
         ticker_ratios.append(timings["on"] / timings["no_ticker"])
+        # The armed-but-idle forensics recorder against the same
+        # instrumented stack without it.
+        forensics_ratios.append(timings["forensics"] / timings["on"])
         for mode, seconds in timings.items():
             best[mode] = min(best[mode], seconds)
         if index % 10 == 0:
@@ -124,6 +146,10 @@ def test_obs_overhead_shape():
     ticker_median_pct = (statistics.median(ticker_ratios) - 1.0) * 100.0
     ticker_best_pct = (best["on"] / best["no_ticker"] - 1.0) * 100.0
     ticker_pct = min(ticker_median_pct, ticker_best_pct)
+    forensics_median_pct = \
+        (statistics.median(forensics_ratios) - 1.0) * 100.0
+    forensics_best_pct = (best["forensics"] / best["on"] - 1.0) * 100.0
+    forensics_pct = min(forensics_median_pct, forensics_best_pct)
 
     on = stacks["on"]
     snapshot = on.db.metrics.collect()
@@ -137,14 +163,17 @@ def test_obs_overhead_shape():
                 "best_seconds": round(best[mode], 6),
                 "quotes_per_sec": round(QUOTES / best[mode], 1),
             }
-            for mode in ("on", "trace", "off", "no_ticker")
+            for mode in ("on", "trace", "off", "no_ticker", "forensics")
         },
         "overhead_pct": round(overhead_pct, 2),
         "trace_overhead_pct": round(trace_pct, 2),
         "ticker_overhead_pct": round(ticker_pct, 2),
         "ticker_median_pct": round(ticker_median_pct, 2),
+        "forensics_overhead_pct": round(forensics_pct, 2),
+        "forensics_median_pct": round(forensics_median_pct, 2),
         "max_overhead_pct": MAX_OVERHEAD_PCT,
         "max_ticker_overhead_pct": MAX_TICKER_OVERHEAD_PCT,
+        "max_forensics_overhead_pct": MAX_FORENSICS_OVERHEAD_PCT,
         "cpu_count": os.cpu_count(),
         "instruments_recording": sum(
             1 for snap in snapshot["histograms"].values() if snap["count"]),
@@ -185,3 +214,14 @@ def test_obs_overhead_shape():
     assert ticker_pct <= MAX_TICKER_OVERHEAD_PCT, \
         "timeseries ticker overhead %.2f%% exceeds %.1f%%" \
         % (ticker_pct, MAX_TICKER_OVERHEAD_PCT)
+    # ...and the armed-but-idle forensics recorder stayed armed (its
+    # lazy worker never even started), idle (zero captures), and free.
+    recorder = stacks["forensics"].db.forensics
+    assert recorder is not None
+    assert recorder.stats_snapshot()["captures"] == 0
+    assert recorder._worker is None
+    stacks["forensics"].db.close()
+    shutil.rmtree(forensics_dir, ignore_errors=True)
+    assert forensics_pct <= MAX_FORENSICS_OVERHEAD_PCT, \
+        "armed-but-idle forensics overhead %.2f%% exceeds %.1f%%" \
+        % (forensics_pct, MAX_FORENSICS_OVERHEAD_PCT)

@@ -87,7 +87,8 @@ class HiPAC:
                  timeseries: Optional[bool] = None,
                  timeseries_interval: float = 1.0,
                  timeseries_capacity: int = 600,
-                 slos: Optional[List[Objective]] = None) -> None:
+                 slos: Optional[List[Objective]] = None,
+                 forensics: Optional[Any] = None) -> None:
         self.tracer = tracing.Tracer()
         self.clock = clock or VirtualClock()
         #: observability levels:
@@ -117,7 +118,7 @@ class HiPAC:
         #: never per-operation, and a guard against runaway rule sets is
         #: not an instrument to ablate.  Thresholds come from the
         #: :class:`~repro.obs.watchdog.WatchdogConfig` ``watchdog`` knob.
-        self.watchdog = Watchdog(config=watchdog)
+        self.watchdog = Watchdog(config=watchdog, metrics=self.metrics)
         #: windowed telemetry + SLO monitor (created at the end of
         #: __init__, after recovery replay, so startup work is never a
         #: "window"); None until then and whenever the ticker is off.
@@ -250,6 +251,37 @@ class HiPAC:
                                   metrics=self.metrics)
             ring.add_callback(self._on_tick)
             ring.start()
+        #: incident forensics: black-box snapshot bundles on watchdog
+        #: alerts, SLO breaches (which arrive as SLO_BURN alerts), WAL
+        #: append failures, and manual triggers (see
+        #: :mod:`repro.obs.forensics`; ``python -m repro.tools.doctor``
+        #: diagnoses the bundles).  ``forensics`` accepts ``True`` or a
+        #: :class:`~repro.obs.forensics.ForensicsConfig`; off by default.
+        self.forensics: Optional[Any] = None
+        if forensics:
+            if data_dir is None:
+                raise ValueError("forensics=True requires data_dir")
+            from repro.obs.forensics import (ForensicsConfig,
+                                             ForensicsRecorder)
+            self.forensics = ForensicsRecorder(
+                self, data_dir,
+                config=(forensics if isinstance(forensics, ForensicsConfig)
+                        else None),
+                metrics=self.metrics,
+                env={
+                    "durability": durability,
+                    "data_dir": str(data_dir),
+                    "observability": str(observability),
+                    "flight_recorder": bool(flight_recorder),
+                    "provenance": self.provenance is not None,
+                    "timeseries": self.timeseries is not None,
+                    "timeseries_interval": timeseries_interval,
+                    "lock_timeout": lock_timeout,
+                    "watchdog": vars(self.watchdog.config),
+                })
+            self.watchdog.add_callback(self.forensics.on_alert)
+            if self.wal is not None:
+                self.wal.on_append_failure = self.forensics.on_wal_failure
 
     def _bootstrap(self) -> None:
         """Create the ``HiPAC::Rule`` system class and program the Rule
@@ -317,11 +349,16 @@ class HiPAC:
         return self._recovery_report
 
     def close(self) -> None:
-        """Stop the admin server (if serving) and the timeseries ticker,
-        and flush/close the WAL and flight-recorder journal."""
+        """Stop the admin server (if serving), drain the forensics
+        worker, stop the timeseries ticker, and flush/close the WAL and
+        flight-recorder journal."""
         if self._admin is not None:
             self._admin.close()
             self._admin = None
+        # Forensics first: a queued capture reads the timeseries ring and
+        # the flight journal, so drain it while they are still alive.
+        if self.forensics is not None:
+            self.forensics.close()
         if self.timeseries is not None:
             self.timeseries.stop()
         if self.flight_recorder is not None:
@@ -596,7 +633,10 @@ class HiPAC:
         ``/timeseries`` (windowed rates and percentiles from the
         background ticker), ``/slo`` (objective states and burn rates),
         ``/why`` (causal provenance chain for ``?oid=Class%23N&attr=``;
-        see :meth:`why`), and ``/trace`` (Chrome trace download under
+        see :meth:`why`), ``/alerts`` (the watchdog's bounded alert ring;
+        ``?last=N``, ``?kind=``), ``/forensics`` (snapshot bundles:
+        list, ``?id=…&download=1``, ``?capture=1``; requires
+        ``forensics=True``), and ``/trace`` (Chrome trace download under
         ``observability="trace"``) on a daemon thread.  ``port=0`` binds
         an ephemeral port; read the bound address from the returned
         server's ``url``.  Idempotent: a second call returns the running
@@ -648,7 +688,7 @@ class HiPAC:
         ``repro.tools.top`` can compute rates from successive snapshots),
         the full :meth:`stats` tree, and live derived gauges."""
         live = self.transaction_manager.live_transactions()
-        return {
+        payload = {
             "time": time.time(),
             "uptime": time.time() - self._started_at,
             "stats": self.stats(),
@@ -659,6 +699,11 @@ class HiPAC:
                     for txn in live),
             },
         }
+        # Mixed-type forensics status (last capture kind/id) lives here,
+        # outside the numeric stats() tree the Prometheus exporter floats.
+        if self.forensics is not None:
+            payload["forensics"] = self.forensics.status()
+        return payload
 
     def rule_profiler(self) -> RuleProfiler:
         """A :class:`~repro.obs.profiler.RuleProfiler` over the current
@@ -764,6 +809,11 @@ class HiPAC:
              "ok", "burning", "breached", "recovered"), 0)
         if self.slo is not None:
             slo.update(self.slo.summary())
+        forensics = dict.fromkeys(
+            ("captures", "capture_errors", "debounced", "evicted",
+             "bundles", "bytes"), 0)
+        if self.forensics is not None:
+            forensics.update(self.forensics.stats_snapshot())
         return {
             "rules": dict(self.rule_manager.stats),
             "events": events,
@@ -787,4 +837,5 @@ class HiPAC:
             "provenance": provenance,
             "timeseries": timeseries,
             "slo": slo,
+            "forensics": forensics,
         }

@@ -140,6 +140,19 @@ HELP_TEXTS: Dict[str, str] = {
     "slo_breaches_total": "SLO objectives entering the breached state",
     "serving_latency_seconds":
         "Loadgen per-stimulus latency from scheduled send time",
+    "watchdog_alerts_total": "Watchdog alerts raised, by detector kind",
+    "forensics_captures_total":
+        "Forensics snapshot bundles captured, by trigger kind",
+    "forensics_capture_errors_total":
+        "Forensics captures that failed (never propagated to the "
+        "signalling thread)",
+    "forensics_debounced_total":
+        "Forensics capture requests suppressed by the per-kind debounce",
+    "forensics_evicted_total":
+        "Forensics bundles evicted oldest-first to hold the disk budget",
+    "forensics_bundles": "Snapshot bundles currently on disk",
+    "forensics_bytes": "Disk bytes held by snapshot bundles",
+    "forensics_capture_seconds": "Snapshot bundle capture latency",
 }
 
 

@@ -24,6 +24,11 @@ and exposes:
   computed server-side once, instead of by every scraper;
 * ``GET /slo``      — declared objectives with burn rates and states
   (ok / burning / breached / recovered);
+* ``GET /alerts``   — the watchdog's bounded alert ring as JSON
+  (``?last=N``, ``?kind=<detector>``);
+* ``GET /forensics`` — incident snapshot bundles (``?id=…`` fetches one,
+  ``&download=1`` as attachment, ``?capture=1`` snapshots now; 409
+  unless built with ``forensics=True``);
 * ``GET /trace``    — the Chrome ``trace_event`` document of the retained
   span trees (only meaningful under ``observability="trace"``; otherwise
   409, because an empty trace would read as "nothing happened");
@@ -97,6 +102,8 @@ class _AdminHandler(BaseHTTPRequestHandler):
                 "/timeseries": self._timeseries,
                 "/slo": self._slo,
                 "/why": self._why,
+                "/alerts": self._alerts,
+                "/forensics": self._forensics,
                 "/trace": self._trace,
             }.get(parsed.path)
             if route is None:
@@ -209,6 +216,65 @@ class _AdminHandler(BaseHTTPRequestHandler):
         chain = db.why(oid, attr, depth=max(1, depth))
         self._send_json(200, chain.as_dict())
 
+    def _alerts(self, db: Any, query: Dict[str, Any]) -> None:
+        """The watchdog's bounded alert ring as JSON (``?last=N``,
+        ``?kind=<detector>``) — always available: the watchdog stays on
+        even with observability off."""
+        last = _int_param(query, "last", 50)
+        kind = query.get("kind", [""])[0] or None
+        alerts = db.watchdog.alerts(kind)
+        self._send_json(200, {
+            "total": db.watchdog.stats.get("alerts_total", 0),
+            "dropped": db.watchdog.dropped,
+            "by_kind": {key[len("alerts_"):]: value
+                        for key, value in db.watchdog.stats.items()
+                        if key.startswith("alerts_")
+                        and key != "alerts_total"},
+            "alerts": [
+                {"kind": alert.kind, "severity": alert.severity,
+                 "message": alert.message, "value": alert.value,
+                 "threshold": alert.threshold,
+                 "timestamp": alert.timestamp}
+                for alert in alerts[-last:]],
+        })
+
+    def _forensics(self, db: Any, query: Dict[str, Any]) -> None:
+        recorder = getattr(db, "forensics", None)
+        if recorder is None:
+            self._send(409, "text/plain; charset=utf-8",
+                       "forensics is off; construct the instance with"
+                       " forensics=True to capture snapshot bundles")
+            return
+        if query.get("capture", [""])[0]:
+            bundle_id = recorder.capture(kind="manual",
+                                         reason="admin ?capture=1")
+            if bundle_id is None:
+                self._send(500, "text/plain; charset=utf-8",
+                           "capture failed (see the capture_errors stat)")
+                return
+            self._send_json(200, {"captured": bundle_id,
+                                  "stats": recorder.stats_snapshot()})
+            return
+        bundle_id = query.get("id", [""])[0]
+        if bundle_id:
+            try:
+                data = recorder.read_bundle(bundle_id)
+            except KeyError:
+                self._send(404, "text/plain; charset=utf-8",
+                           "no such bundle: %r" % bundle_id)
+                return
+            extra_headers: Tuple[Tuple[str, str], ...] = ()
+            if query.get("download", [""])[0]:
+                extra_headers = (("Content-Disposition",
+                                  'attachment; filename="%s.json"'
+                                  % bundle_id),)
+            self._send_bytes(200, "application/json", data,
+                             extra_headers=extra_headers)
+            return
+        last = _int_param(query, "last", 20)
+        self._send_json(200, {"stats": recorder.status(),
+                              "bundles": recorder.list_bundles()[:last]})
+
     def _trace(self, db: Any, query: Dict[str, Any]) -> None:
         if not db.spans.enabled:
             self._send(409, "text/plain; charset=utf-8",
@@ -256,6 +322,11 @@ _INDEX_TEXT = """hipac admin endpoint
   /slo       objective states + burn rates JSON (requires the ticker)
   /why       causal provenance chain JSON (?oid=Class%23N or Class:N,
              ?attr=, ?depth=N; requires provenance on)
+  /alerts    watchdog alert ring JSON (?last=N, ?kind=<detector>)
+  /forensics snapshot-bundle index JSON (?id=BUNDLE to fetch one,
+             &download=1 as attachment, ?capture=1 to snapshot now;
+             requires forensics=True; `python -m repro.tools.doctor`
+             diagnoses a bundle)
   /trace     Chrome trace_event JSON (requires observability="trace")
 """
 

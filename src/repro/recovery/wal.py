@@ -111,6 +111,10 @@ class WriteAheadLog:
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.fsync_on_commit = fsync and fsync_interval_ms is None
         self.failed = False
+        #: optional hook invoked (with the exception) when an append
+        #: fails — the forensics recorder captures a bundle before anyone
+        #: restarts the process; must never raise back into the log path
+        self.on_append_failure: Optional[Any] = None
         self._tracer = tracer or tracing.Tracer()
         self._writer = SegmentWriter(
             self.data_dir, WAL_PREFIX, seq_field="lsn",
@@ -162,10 +166,15 @@ class WriteAheadLog:
         try:
             self.append(rtype, data, txn_id=txn_id, sphere=sphere)
             return True
-        except Exception:
+        except Exception as exc:
             self.failed = True
             self._stats["append_failures"] += 1
             self._tracer.bump("wal_append_failed")
+            if self.on_append_failure is not None:
+                try:
+                    self.on_append_failure(exc)
+                except Exception:
+                    pass
             return False
 
     def force(self) -> None:

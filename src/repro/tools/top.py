@@ -143,6 +143,9 @@ def render(current: Dict[str, Any],
     lines.append("live txns %-6d deferred queue %-6d"
                  % (derived.get("live_transactions", 0),
                     derived.get("deferred_queue_depth", 0)))
+    incident = incident_line(current, health)
+    if incident:
+        lines.append(incident)
     provenance = current.get("stats", {}).get("provenance")
     if provenance:
         lines.append("prov entries %-6d evicted %-8d ~%s"
@@ -188,6 +191,33 @@ def render(current: Dict[str, Any],
                     alert.get("severity", "?"), alert.get("kind", "?"),
                     alert.get("message", "")))
     return "\n".join(lines)
+
+
+def incident_line(current: Dict[str, Any],
+                  health: Optional[Dict[str, Any]]) -> str:
+    """The incident status line: most recent watchdog alert plus the
+    last forensics capture (kind + age), when either subsystem has
+    something to say.  Ages come from the server's own clock."""
+    now = float(current.get("time", 0.0))
+    bits = []
+    recent = (health or {}).get("recent") or []
+    if recent:
+        alert = recent[-1]
+        age = max(0.0, now - float(alert.get("timestamp") or now))
+        bits.append("last alert [%s] %s %s ago"
+                    % (alert.get("severity", "?"), alert.get("kind", "?"),
+                       format_duration(age)))
+    forensics = current.get("forensics")
+    if forensics:
+        if forensics.get("last_kind"):
+            age = max(0.0, now - float(forensics.get("last_wall") or now))
+            bits.append("last capture %s %s ago (%d bundle(s), %s)"
+                        % (forensics.get("last_kind"), format_duration(age),
+                           forensics.get("bundles", 0),
+                           format_bytes(forensics.get("bytes", 0))))
+        else:
+            bits.append("forensics armed, no captures")
+    return " — ".join(bits)
 
 
 def format_bytes(count: float) -> str:
